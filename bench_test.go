@@ -1,0 +1,244 @@
+// Benchmarks regenerating every table/figure of the paper (one
+// Benchmark per experiment ID, in quick mode so the full suite stays
+// fast) plus micro-benchmarks of the hot kernels: profile SSSP, exact
+// and heuristic best responses, Nash verification, dynamics, the
+// exhaustive no-Nash certificate and the overlay simulator.
+//
+//	go test -bench=. -benchmem
+package selfishnet_test
+
+import (
+	"testing"
+
+	"selfishnet"
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/construct"
+	"selfishnet/internal/core"
+	"selfishnet/internal/dynamics"
+	"selfishnet/internal/experiments"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/nash"
+	"selfishnet/internal/opt"
+	"selfishnet/internal/overlay"
+	"selfishnet/internal/rng"
+)
+
+// benchExperiment runs one experiment table per iteration (quick mode).
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Run(id, experiments.Params{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper item (see DESIGN.md's per-experiment index).
+
+func BenchmarkE1UpperBound(b *testing.B)     { benchExperiment(b, "e1-upper") }
+func BenchmarkE2Fig1Nash(b *testing.B)       { benchExperiment(b, "e2-fig1") }
+func BenchmarkE3CostScaling(b *testing.B)    { benchExperiment(b, "e3-cost") }
+func BenchmarkE4PriceOfAnarchy(b *testing.B) { benchExperiment(b, "e4-poa") }
+func BenchmarkE5NoNash(b *testing.B)         { benchExperiment(b, "e5-nonash") }
+func BenchmarkE6CandidateCycle(b *testing.B) { benchExperiment(b, "e6-cycle") }
+func BenchmarkE7SqrtRegime(b *testing.B)     { benchExperiment(b, "e7-tulip") }
+func BenchmarkE8Convergence(b *testing.B)    { benchExperiment(b, "e8-dyn") }
+func BenchmarkE9Churn(b *testing.B)          { benchExperiment(b, "e9-churn") }
+func BenchmarkE10Baselines(b *testing.B)     { benchExperiment(b, "e10-baseline") }
+func BenchmarkE11Landscape(b *testing.B)     { benchExperiment(b, "e11-exact") }
+func BenchmarkE12Oracles(b *testing.B)       { benchExperiment(b, "e12-oracle") }
+func BenchmarkE13Congestion(b *testing.B)    { benchExperiment(b, "e13-congest") }
+
+// --- kernel micro-benchmarks ---
+
+func randomSetup(b *testing.B, n int, alpha float64) (*core.Evaluator, core.Profile) {
+	b.Helper()
+	r := rng.New(42)
+	space, err := metric.UniformPoints(r, n, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, alpha)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewEvaluator(inst), dynamics.RandomProfile(r, n, 0.2)
+}
+
+func BenchmarkPeerCostSSSP64(b *testing.B) {
+	ev, p := randomSetup(b, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.PeerCost(p, i%64)
+	}
+}
+
+func BenchmarkSocialCost64(b *testing.B) {
+	ev, p := randomSetup(b, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SocialCost(p)
+	}
+}
+
+func BenchmarkExactBestResponse14(b *testing.B) {
+	ev, p := randomSetup(b, 14, 4)
+	oracle := &bestresponse.Exact{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oracle.BestResponse(ev, p, i%14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalSearchBestResponse32(b *testing.B) {
+	ev, p := randomSetup(b, 32, 4)
+	oracle := &bestresponse.LocalSearch{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oracle.BestResponse(ev, p, i%32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNashCheckFigure1(b *testing.B) {
+	f, err := construct.NewFigure1(11, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := core.NewEvaluator(f.Instance)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := nash.IsNash(ev, f.Profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("not Nash")
+		}
+	}
+}
+
+func BenchmarkDynamicsToConvergence(b *testing.B) {
+	ev, _ := randomSetup(b, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynamics.Run(ev, core.NewProfile(10), dynamics.Config{
+			Policy: &dynamics.RoundRobin{}, MaxSteps: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkOscillationCycleDetection(b *testing.B) {
+	ik, err := construct.NewIk(1, construct.DefaultIkParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ik.Oscillate(construct.Candidates()[0], 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CycleDetected {
+			b.Fatal("no cycle")
+		}
+	}
+}
+
+func BenchmarkCertifyNoNashExhaustive(b *testing.B) {
+	// The full 2^20-profile certificate (~3 s/op): the machine-checked
+	// heart of Theorem 5.1.
+	ik, err := construct.NewIk(1, construct.DefaultIkParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ik.CertifyNoNash(1 << 21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTulipConstruction100(b *testing.B) {
+	r := rng.New(3)
+	space, err := metric.UniformPoints(r, 100, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Tulip(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlaySimulation(b *testing.B) {
+	r := rng.New(5)
+	space, err := metric.UniformPoints(r, 16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tulip, err := opt.Tulip(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := overlay.New(overlay.Config{
+			Instance: inst, Topology: tulip, Duration: 50,
+			LookupRate: 1, ChurnRate: 0.02, PingInterval: 5,
+			Repair: overlay.RepairNearest, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	r := selfishnet.NewRNG(2024)
+	space, err := selfishnet.UniformPeers(r, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := selfishnet.RunDynamics(game, selfishnet.EmptyProfile(8), selfishnet.DynamicsConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command nashcheck verifies equilibrium properties of a topology given
+// as a JSON instance document (see internal/export.InstanceDoc):
+//
+//	nashcheck instance.json          # exact Nash check
+//	nashcheck -oracle local file     # add/drop/swap stability only
+//	cat instance.json | nashcheck -  # read from stdin
+//
+// Exit status: 0 when stable under the chosen oracle, 2 when a peer has
+// an improving deviation, 1 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/core"
+	"selfishnet/internal/export"
+	"selfishnet/internal/nash"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nashcheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("nashcheck", flag.ContinueOnError)
+	oracleName := fs.String("oracle", "exact", "deviation oracle: exact | local | greedy")
+	verbose := fs.Bool("v", false, "print per-peer deviation margins")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if fs.NArg() != 1 {
+		return 1, fmt.Errorf("usage: nashcheck [-oracle exact|local|greedy] [-v] <file.json | ->")
+	}
+
+	var in io.Reader
+	if fs.Arg(0) == "-" {
+		in = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := export.ReadInstanceDoc(in)
+	if err != nil {
+		return 1, err
+	}
+	inst, err := doc.Instance()
+	if err != nil {
+		return 1, err
+	}
+	prof, err := doc.Profile()
+	if err != nil {
+		return 1, err
+	}
+
+	var oracle bestresponse.Oracle
+	switch *oracleName {
+	case "exact":
+		oracle = &bestresponse.Exact{}
+	case "local":
+		oracle = &bestresponse.LocalSearch{}
+	case "greedy":
+		oracle = &bestresponse.Greedy{}
+	default:
+		return 1, fmt.Errorf("unknown oracle %q", *oracleName)
+	}
+
+	ev := core.NewEvaluator(inst)
+	rep, err := nash.Check(ev, prof, oracle, bestresponse.Tolerance)
+	if err != nil {
+		return 1, err
+	}
+
+	kind := "stable under " + rep.Oracle
+	if rep.Exact {
+		kind = "pure Nash equilibrium"
+	}
+	if rep.Stable {
+		fmt.Fprintf(stdout, "STABLE: the topology is a %s (n=%d, α=%g, |E|=%d)\n",
+			kind, inst.N(), inst.Alpha(), prof.LinkCount())
+	} else {
+		fmt.Fprintf(stdout, "UNSTABLE: max improvement %s (n=%d, α=%g, |E|=%d)\n",
+			gainString(rep.MaxGain), inst.N(), inst.Alpha(), prof.LinkCount())
+	}
+	if *verbose || !rep.Stable {
+		for _, pr := range rep.Peers {
+			if !*verbose && pr.Gain <= bestresponse.Tolerance {
+				continue
+			}
+			fmt.Fprintf(stdout, "  peer %d: cost %s, best deviation %v saves %s\n",
+				pr.Peer, costString(pr.CurrentEval), pr.Deviation.Slice(), gainString(pr.Gain))
+		}
+	}
+	if rep.Stable {
+		return 0, nil
+	}
+	return 2, nil
+}
+
+func gainString(g float64) string {
+	if math.IsInf(g, 1) {
+		return "∞ (restores reachability)"
+	}
+	return fmt.Sprintf("%.6g", g)
+}
+
+func costString(e core.Eval) string {
+	if e.Unreachable > 0 {
+		return fmt.Sprintf("+Inf (%d unreachable)", e.Unreachable)
+	}
+	return fmt.Sprintf("%.6g", e.Key())
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const nashDoc = `{
+  "alpha": 2,
+  "points": [[0], [1]],
+  "links": [[0,1],[1,0]]
+}`
+
+const unstableDoc = `{
+  "alpha": 2,
+  "points": [[0], [1]],
+  "links": []
+}`
+
+func TestNashcheckStable(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-"}, strings.NewReader(nashDoc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "STABLE") || !strings.Contains(out.String(), "pure Nash equilibrium") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestNashcheckUnstable(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-"}, strings.NewReader(unstableDoc), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "UNSTABLE") {
+		t.Errorf("output = %q", out.String())
+	}
+	// The unstable report lists the improving peers.
+	if !strings.Contains(out.String(), "peer 0") {
+		t.Errorf("missing peer detail: %q", out.String())
+	}
+}
+
+func TestNashcheckOracles(t *testing.T) {
+	for _, oracle := range []string{"exact", "local", "greedy"} {
+		var out strings.Builder
+		code, err := run([]string{"-oracle", oracle, "-"}, strings.NewReader(nashDoc), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", oracle, err)
+		}
+		if code != 0 {
+			t.Errorf("%s: exit = %d", oracle, code)
+		}
+	}
+	if _, err := run([]string{"-oracle", "bogus", "-"}, strings.NewReader(nashDoc), &strings.Builder{}); err == nil {
+		t.Error("bogus oracle should error")
+	}
+}
+
+func TestNashcheckHeuristicNotClaimedExact(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-oracle", "local", "-"}, strings.NewReader(nashDoc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "pure Nash equilibrium") {
+		t.Errorf("local-search verdict must not claim exactness: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "stable under local-search") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestNashcheckUsageErrors(t *testing.T) {
+	if _, err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, err := run([]string{"does-not-exist.json"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file on disk should error")
+	}
+	if _, err := run([]string{"-"}, strings.NewReader("{not json"), &strings.Builder{}); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestNashcheckVerbose(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-v", "-"}, strings.NewReader(nashDoc), &out)
+	if err != nil || code != 0 {
+		t.Fatal(err, code)
+	}
+	if !strings.Contains(out.String(), "peer 0") || !strings.Contains(out.String(), "peer 1") {
+		t.Errorf("verbose should list all peers: %q", out.String())
+	}
+}

@@ -1,0 +1,110 @@
+// Command topogame runs the reproduction experiments for "On the
+// Topologies Formed by Selfish Peers" (Moscibroda, Schmid, Wattenhofer;
+// PODC 2006) and prints their result tables.
+//
+// Usage:
+//
+//	topogame list                 # show available experiments
+//	topogame run all              # run every experiment
+//	topogame run e4-poa e5-nonash # run selected experiments
+//	topogame run -quick -csv e1-upper
+//
+// Flags for run:
+//
+//	-quick  reduced sizes (~10× faster; smoke testing)
+//	-csv    emit CSV instead of aligned text
+//	-seed N deterministic seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selfishnet/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogame:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			desc, err := experiments.Describe(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %s\n", id, desc)
+		}
+		return nil
+	case "run":
+		return runExperiments(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced experiment sizes")
+	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments given; try 'topogame run all'")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	params := experiments.Params{Quick: *quick, Seed: *seed}
+	for i, id := range ids {
+		tb, err := experiments.Run(id, params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			if err := tb.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := tb.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if i+1 < len(ids) {
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `topogame — experiments for "On the Topologies Formed by Selfish Peers"
+
+commands:
+  list                   list experiments with descriptions
+  run [flags] <ids|all>  run experiments and print tables
+  help                   show this help
+
+run flags:
+  -quick      reduced sizes (smoke test)
+  -csv        CSV output
+  -seed N     deterministic seed (default 1)
+`)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestTopogameCommands(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing command should error")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("run without ids should error")
+	}
+	if err := run([]string{"run", "not-an-experiment"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTopogameRunQuick(t *testing.T) {
+	// One representative experiment in quick+CSV mode (stdout goes to
+	// the test log, which is fine).
+	if err := run([]string{"run", "-quick", "-csv", "e4-poa"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"run", "-quick", "-seed", "9", "e2-fig1", "e3-cost"}); err != nil {
+		t.Fatalf("multi run: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+// Command topoviz renders the paper's constructions (and arbitrary JSON
+// instances) as DOT, SVG, ASCII or JSON:
+//
+//	topoviz -fig1 -n 9 -alpha 4 -format svg > fig1.svg
+//	topoviz -ik -k 1 -candidate 3 -format dot | neato -Tpng > ik.png
+//	topoviz -file instance.json -format ascii
+//	topoviz -fig1 -n 7 -alpha 4 -format json   # emit the JSON document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"selfishnet/internal/construct"
+	"selfishnet/internal/core"
+	"selfishnet/internal/export"
+	"selfishnet/internal/metric"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topoviz", flag.ContinueOnError)
+	fig1 := fs.Bool("fig1", false, "render the Figure 1 lower-bound topology")
+	ik := fs.Bool("ik", false, "render the Figure 2 instance I_k")
+	file := fs.String("file", "", "render a JSON instance document")
+	n := fs.Int("n", 9, "peers for -fig1")
+	alpha := fs.Float64("alpha", 4, "α for -fig1")
+	k := fs.Int("k", 1, "cluster size for -ik")
+	candidate := fs.Int("candidate", 1, "Figure 3 candidate (1..6) for -ik")
+	format := fs.String("format", "ascii", "output: ascii | dot | svg | json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		inst *core.Instance
+		prof core.Profile
+		name string
+	)
+	modes := 0
+	for _, b := range []bool{*fig1, *ik, *file != ""} {
+		if b {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("choose exactly one of -fig1, -ik, -file")
+	}
+	switch {
+	case *fig1:
+		f, err := construct.NewFigure1(*n, *alpha)
+		if err != nil {
+			return err
+		}
+		inst, prof, name = f.Instance, f.Profile, "figure1"
+	case *ik:
+		ikInst, err := construct.NewIk(*k, construct.DefaultIkParams())
+		if err != nil {
+			return err
+		}
+		var cand construct.Candidate
+		found := false
+		for _, c := range construct.Candidates() {
+			if c.ID == *candidate {
+				cand, found = c, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("candidate %d out of range 1..6", *candidate)
+		}
+		p, err := ikInst.CandidateProfile(cand)
+		if err != nil {
+			return err
+		}
+		inst, prof, name = ikInst.Instance, p, fmt.Sprintf("ik_candidate%d", *candidate)
+	default:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		doc, err := export.ReadInstanceDoc(f)
+		if err != nil {
+			return err
+		}
+		inst, err = doc.Instance()
+		if err != nil {
+			return err
+		}
+		prof, err = doc.Profile()
+		if err != nil {
+			return err
+		}
+		name = "instance"
+	}
+
+	switch *format {
+	case "dot":
+		return export.WriteDOT(stdout, prof, inst.Space(), name)
+	case "svg":
+		pos, ok := inst.Space().(metric.Positioned)
+		if !ok {
+			return fmt.Errorf("svg needs a positioned (coordinate) space")
+		}
+		return export.WriteSVG(stdout, prof, pos, 900, 500)
+	case "ascii":
+		if pos, ok := inst.Space().(metric.Positioned); ok && posDim(pos) == 1 {
+			fmt.Fprint(stdout, export.ASCIILine(prof, pos))
+			return nil
+		}
+		fmt.Fprintf(stdout, "n=%d α=%g links:\n", inst.N(), inst.Alpha())
+		for _, l := range prof.Links() {
+			fmt.Fprintf(stdout, "  %d → %d  (d=%.4g)\n", l[0], l[1], inst.Distance(l[0], l[1]))
+		}
+		return nil
+	case "json":
+		return export.DocFor(inst, prof).WriteJSON(stdout)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func posDim(p metric.Positioned) int {
+	if p.N() == 0 {
+		return 0
+	}
+	return len(p.Position(0))
+}

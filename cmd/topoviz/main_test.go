@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTopovizFig1Formats(t *testing.T) {
+	for format, want := range map[string]string{
+		"ascii": "0 --- 1 --- 2",
+		"dot":   "digraph",
+		"svg":   "<svg",
+		"json":  `"alpha"`,
+	} {
+		var out strings.Builder
+		err := run([]string{"-fig1", "-n", "5", "-alpha", "4", "-format", format}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("%s output missing %q", format, want)
+		}
+	}
+}
+
+func TestTopovizIk(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-ik", "-candidate", "3", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("output = %q", out.String())
+	}
+	// 2-D instance: ascii falls back to the link list.
+	out.Reset()
+	if err := run([]string{"-ik", "-format", "ascii"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "links:") {
+		t.Errorf("ascii 2-D output = %q", out.String())
+	}
+	if err := run([]string{"-ik", "-candidate", "9"}, &strings.Builder{}); err == nil {
+		t.Error("candidate out of range should error")
+	}
+}
+
+func TestTopovizFileInput(t *testing.T) {
+	doc := `{"alpha": 1, "points": [[0],[2]], "links": [[0,1]]}`
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-file", path, "-format", "ascii"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 → 1") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestTopovizModeErrors(t *testing.T) {
+	if err := run([]string{"-format", "ascii"}, &strings.Builder{}); err == nil {
+		t.Error("no mode should error")
+	}
+	if err := run([]string{"-fig1", "-ik"}, &strings.Builder{}); err == nil {
+		t.Error("two modes should error")
+	}
+	if err := run([]string{"-fig1", "-format", "bogus"}, &strings.Builder{}); err == nil {
+		t.Error("bad format should error")
+	}
+	if err := run([]string{"-file", "missing.json"}, &strings.Builder{}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTopovizJSONRoundTripsThroughItself(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig1", "-n", "5", "-alpha", "4", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	if err := os.WriteFile(path, []byte(out.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out2 strings.Builder
+	if err := run([]string{"-file", path, "-format", "dot"}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "digraph") {
+		t.Errorf("round-trip output = %q", out2.String())
+	}
+}

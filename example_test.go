@@ -1,0 +1,61 @@
+package selfishnet_test
+
+import (
+	"fmt"
+
+	"selfishnet"
+)
+
+// The simplest possible game: two peers at distance 1. Each must link to
+// the other (the only way to keep its cost finite), so mutual linking is
+// the unique Nash equilibrium.
+func ExampleIsNash() {
+	space, _ := selfishnet.Line([]float64{0, 1})
+	game, _ := selfishnet.NewGame(space, 2) // α = 2
+
+	mutual, _ := selfishnet.ProfileFromLinks(2, map[int][]int{0: {1}, 1: {0}})
+	ok, _ := selfishnet.IsNash(game, mutual)
+	fmt.Println("mutual links Nash:", ok)
+
+	cost := selfishnet.SocialCost(game, mutual)
+	fmt.Printf("social cost: %.0f (links %.0f + stretch %.0f)\n",
+		cost.Total(), cost.Link, cost.Term)
+	// Output:
+	// mutual links Nash: true
+	// social cost: 6 (links 4 + stretch 2)
+}
+
+// On a collinear, evenly spaced line, relaying through a neighbor costs
+// no extra latency (stretch stays 1), so best-response dynamics converge
+// to a sparse chain-like equilibrium.
+func ExampleRunDynamics() {
+	space, _ := selfishnet.Line([]float64{0, 1, 2, 3})
+	game, _ := selfishnet.NewGame(space, 2)
+
+	res, _ := selfishnet.RunDynamics(game, selfishnet.EmptyProfile(4), selfishnet.DynamicsConfig{})
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("max stretch:", selfishnet.MaxStretch(game, res.Final))
+	// Output:
+	// converged: true
+	// max stretch: 1
+}
+
+// The paper's Figure 1 lower-bound topology is a pure Nash equilibrium
+// for α ≥ 3.4 (Lemma 4.2) while costing Θ(αn²) (Lemma 4.3).
+func ExampleNewFigure1() {
+	f, _ := selfishnet.NewFigure1(9, 4)
+	ok, _ := selfishnet.IsNash(f.Instance, f.Profile)
+	fmt.Println("Figure 1 is Nash at α=4:", ok)
+	// Output:
+	// Figure 1 is Nash at α=4: true
+}
+
+// The five-cluster instance I_1 has no pure Nash equilibrium
+// (Theorem 5.1): exhaustive enumeration returns an empty list.
+func ExampleEnumerateEquilibria() {
+	ik, _ := selfishnet.NewIk(1)
+	eqs, _ := selfishnet.EnumerateEquilibria(ik.Instance, 1<<21)
+	fmt.Println("pure Nash equilibria of I_1:", len(eqs))
+	// Output:
+	// pure Nash equilibria of I_1: 0
+}

@@ -1,0 +1,70 @@
+// Lowerbound reproduces the paper's Figure 1 / Theorem 4.4 end to end:
+// it builds the exponential-line instance, verifies the drawn topology
+// is a Nash equilibrium (Lemma 4.2), compares its social cost to the
+// optimal chain G̃ (Lemma 4.3), and prints the Price-of-Anarchy ratio
+// table showing the Θ(min(α, n)) behaviour.
+//
+//	go run ./examples/lowerbound [-n 9] [-alpha 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"selfishnet"
+	"selfishnet/internal/construct"
+	"selfishnet/internal/export"
+	"selfishnet/internal/metric"
+)
+
+func main() {
+	n := flag.Int("n", 9, "number of peers (odd matches the paper exactly)")
+	alpha := flag.Float64("alpha", 4, "α (Nash requires α ≥ 3.4)")
+	flag.Parse()
+
+	f, err := selfishnet.NewFigure1(*n, *alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Figure 1 instance: n=%d, α=%g, peers on the exponential line\n\n", *n, *alpha)
+	if pos, ok := f.Instance.Space().(metric.Positioned); ok {
+		fmt.Println(export.ASCIILine(f.Profile, pos))
+	}
+
+	rep, err := selfishnet.CheckNash(f.Instance, f.Profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lemma 4.2 — exact Nash verification: stable=%v (largest deviation gain %.3g)\n",
+		rep.Stable, rep.MaxGain)
+	fmt.Printf("  analytic benefit-series threshold: α ≥ %.4f (paper uses 3.4)\n\n",
+		construct.Lemma42Threshold(1e-9))
+
+	sc := selfishnet.SocialCost(f.Instance, f.Profile)
+	gTilde := construct.OptimalLineCost(*n, *alpha)
+	fmt.Printf("Lemma 4.3 — cost of the selfish topology G:\n")
+	fmt.Printf("  C(G)  = %.1f  (links %.1f ∈ Θ(αn), stretches %.1f ∈ Θ(αn²))\n", sc.Total(), sc.Link, sc.Term)
+	fmt.Printf("  C(G̃)  = %.1f  (optimal chain: 2α(n−1) + n(n−1))\n", gTilde)
+	fmt.Printf("  ratio = %.3f   min(α, n) = %g\n\n", sc.Total()/gTilde, math.Min(*alpha, float64(*n)))
+
+	fmt.Println("Theorem 4.4 — the ratio grows as Θ(min(α, n)):")
+	tb := &export.Table{Headers: []string{"n", "alpha", "C(G)/C(G~)", "ratio/min(α,n)"}}
+	for _, nn := range []int{9, 17, 33, 65} {
+		for _, aa := range []float64{4, 16, 64} {
+			ff, err := selfishnet.NewFigure1(nn, aa)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := selfishnet.SocialCost(ff.Instance, ff.Profile).Total() / construct.OptimalLineCost(nn, aa)
+			tb.AddRow(export.Int(nn), export.Num(aa), export.Num(ratio),
+				export.Num(ratio/math.Min(aa, float64(nn))))
+		}
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Oscillation reproduces the paper's Section 5 (Theorem 5.1, Figures 2
+// and 3) live: on the five-cluster instance I_k, selfish peers never
+// reach a stable topology. The program prints every strategy change of
+// deterministic best-response dynamics until a state repeats — a proof
+// that the run loops forever — then shows the Figure 3 candidate
+// transition table, and (with -certify) exhaustively enumerates all
+// 2^20 strategy profiles of I_1 to certify that no pure Nash
+// equilibrium exists at all.
+//
+//	go run ./examples/oscillation [-k 1] [-certify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"selfishnet"
+	"selfishnet/internal/construct"
+	"selfishnet/internal/core"
+	"selfishnet/internal/dynamics"
+)
+
+func main() {
+	k := flag.Int("k", 1, "peers per cluster (n = 5k)")
+	certify := flag.Bool("certify", false, "exhaustively certify no-Nash for k=1 (~3s)")
+	flag.Parse()
+
+	ik, err := selfishnet.NewIk(*k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("I_%d: five clusters of %d peer(s), n=%d, α=%.3f\n",
+		*k, *k, ik.Instance.N(), ik.Instance.Alpha())
+	for _, c := range []construct.Cluster{construct.Pi1, construct.Pi2, construct.PiA, construct.PiB, construct.PiC} {
+		lead, err := ik.PeerOf(c, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s lead peer: %d\n", c, lead)
+	}
+
+	// Start from the Figure 3 candidate 1 and watch the dance.
+	start, err := ik.CandidateProfile(construct.Candidates()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbest-response dynamics (max-gain activation, exact oracle):")
+	res, err := selfishnet.RunDynamics(ik.Instance, start, selfishnet.DynamicsConfig{
+		Policy:       dynamics.MaxGain{},
+		MaxSteps:     60,
+		DetectCycles: true,
+		OnStep: func(e dynamics.StepEvent) {
+			cl, cerr := ik.ClusterOf(e.Peer)
+			name := "?"
+			if cerr == nil {
+				name = cl.String()
+			}
+			fmt.Printf("  step %2d: peer %d (%s) switches, cost %.3f → %.3f\n",
+				e.Step, e.Peer, name, evalCost(e.Old), evalCost(e.New))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Converged:
+		fmt.Println("converged — this would contradict Theorem 5.1!")
+	case res.CycleDetected:
+		fmt.Printf("\nPROVEN CYCLE after %d steps: the exact same (topology, scheduler) state repeated\n", res.Steps)
+		fmt.Printf("cycle length: %d strategy changes — the system oscillates forever (Theorem 5.1)\n", res.CycleLength)
+	default:
+		fmt.Println("budget exhausted without convergence")
+	}
+
+	fmt.Println("\nFigure 3 candidate transitions (tops settled, exact bottom deviations):")
+	trs, err := ik.AnalyzeAllSettled(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range trs {
+		switch {
+		case !tr.SettleOK:
+			fmt.Printf("  %s: tops did not settle\n", tr.From)
+		case tr.Stable:
+			fmt.Printf("  %s: stable (unexpected)\n", tr.From)
+		case tr.ToOK:
+			fmt.Printf("  %s  --%s saves %.3f-->  candidate %d\n", tr.From, tr.PeerCluster, tr.Gain, tr.To.ID)
+		default:
+			fmt.Printf("  %s  --%s saves %.3f-->  (outside candidate set)\n", tr.From, tr.PeerCluster, tr.Gain)
+		}
+	}
+	fmt.Println("paper's loop: 1 → 3 → 4 → 2 → 1 …")
+
+	if *certify {
+		if *k != 1 {
+			log.Fatal("certification is only feasible for k=1 (2^20 profiles)")
+		}
+		fmt.Println("\nexhaustively enumerating all 2^20 strategy profiles of I_1 ...")
+		if err := ik.CertifyNoNash(1 << 21); err != nil {
+			log.Fatalf("certification FAILED: %v", err)
+		}
+		fmt.Println("CERTIFIED: no strategy profile of I_1 is a pure Nash equilibrium (Theorem 5.1)")
+	}
+}
+
+func evalCost(e core.Eval) float64 {
+	return e.Key()
+}

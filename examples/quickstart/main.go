@@ -1,0 +1,53 @@
+// Quickstart: build a game, run selfish dynamics, inspect the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selfishnet"
+)
+
+func main() {
+	// Eight peers scattered in the unit square; latency = Euclidean
+	// distance. α prices each maintained link at 2 "stretch units".
+	r := selfishnet.NewRNG(2024)
+	space, err := selfishnet.UniformPeers(r, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start with no links and let peers take turns playing exact best
+	// responses until nobody wants to change: a pure Nash equilibrium.
+	res, err := selfishnet.RunDynamics(game, selfishnet.EmptyProfile(8), selfishnet.DynamicsConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %v after %d strategy changes\n", res.Converged, res.Steps)
+
+	ok, err := selfishnet.IsNash(game, res.Final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact Nash equilibrium: %v\n", ok)
+	fmt.Printf("topology: %v\n", res.Final)
+
+	// The equilibrium's quality: cost decomposition, stretch, and how
+	// far it sits from the social optimum (Price of Anarchy bounds).
+	sc := selfishnet.SocialCost(game, res.Final)
+	fmt.Printf("social cost: %.2f (links %.2f + stretch %.2f)\n", sc.Total(), sc.Link, sc.Term)
+	fmt.Printf("max stretch: %.3f (Theorem 4.1 bound: α+1 = %.1f)\n",
+		selfishnet.MaxStretch(game, res.Final), game.Alpha()+1)
+
+	lo, hi, err := selfishnet.PoABounds(game, res.Final, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("this equilibrium is between %.3f× and %.3f× the social optimum\n", lo, hi)
+}

@@ -1,0 +1,150 @@
+// Package analysis computes structural summaries of overlay topologies:
+// degree distributions, stretch quantiles, load balance (Gini), and
+// per-peer cost shares. The experiments use it to compare the *anatomy*
+// of selfish equilibria with structured overlays — e.g. whether selfish
+// peers build hubs, how unfair the cost burden is, and where the stretch
+// mass sits.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/stats"
+)
+
+// TopologyStats summarizes one profile on one instance.
+type TopologyStats struct {
+	// Links is the number of directed links |E|.
+	Links int
+	// OutDegree summarizes per-peer out-degrees (what peers maintain).
+	OutDegree Distribution
+	// InDegree summarizes per-peer in-degrees (who gets pointed at).
+	InDegree Distribution
+	// Stretch summarizes all n(n-1) pairwise stretch terms; +Inf pairs
+	// are counted separately in UnreachablePairs.
+	Stretch          Distribution
+	UnreachablePairs int
+	// CostShare summarizes the per-peer total costs (fairness of the
+	// equilibrium burden).
+	CostShare Distribution
+	// DegreeGini is the Gini coefficient of the out-degree vector:
+	// 0 = perfectly balanced, →1 = hub-dominated.
+	DegreeGini float64
+}
+
+// Distribution is a five-number summary plus mean.
+type Distribution struct {
+	Min, P25, Median, P75, Max, Mean float64
+}
+
+// String renders the distribution compactly.
+func (d Distribution) String() string {
+	return fmt.Sprintf("min %.3g / p25 %.3g / med %.3g / p75 %.3g / max %.3g (mean %.3g)",
+		d.Min, d.P25, d.Median, d.P75, d.Max, d.Mean)
+}
+
+// summarize builds a Distribution from samples (empty input → zeros).
+func summarize(xs []float64) (Distribution, error) {
+	if len(xs) == 0 {
+		return Distribution{}, nil
+	}
+	var d Distribution
+	var err error
+	if d.Min, err = stats.Quantile(xs, 0); err != nil {
+		return Distribution{}, err
+	}
+	if d.P25, err = stats.Quantile(xs, 0.25); err != nil {
+		return Distribution{}, err
+	}
+	if d.Median, err = stats.Quantile(xs, 0.5); err != nil {
+		return Distribution{}, err
+	}
+	if d.P75, err = stats.Quantile(xs, 0.75); err != nil {
+		return Distribution{}, err
+	}
+	if d.Max, err = stats.Quantile(xs, 1); err != nil {
+		return Distribution{}, err
+	}
+	if d.Mean, err = stats.Mean(xs); err != nil {
+		return Distribution{}, err
+	}
+	return d, nil
+}
+
+// Gini computes the Gini coefficient of a non-negative vector (0 for
+// empty, all-zero or single-element inputs).
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// Analyze computes the full summary of p over the instance.
+func Analyze(ev *core.Evaluator, p core.Profile) (TopologyStats, error) {
+	inst := ev.Instance()
+	n := inst.N()
+	if p.N() != n {
+		return TopologyStats{}, fmt.Errorf("analysis: profile has %d peers, instance has %d", p.N(), n)
+	}
+	out := TopologyStats{Links: p.LinkCount()}
+
+	outDeg := make([]float64, n)
+	inDeg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		outDeg[i] = float64(p.OutDegree(i))
+	}
+	for _, l := range p.Links() {
+		inDeg[l[1]]++
+	}
+	var err error
+	if out.OutDegree, err = summarize(outDeg); err != nil {
+		return TopologyStats{}, err
+	}
+	if out.InDegree, err = summarize(inDeg); err != nil {
+		return TopologyStats{}, err
+	}
+	out.DegreeGini = Gini(outDeg)
+
+	tm := ev.TermMatrix(p)
+	var stretches []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if math.IsInf(tm[i][j], 1) {
+				out.UnreachablePairs++
+			} else {
+				stretches = append(stretches, tm[i][j])
+			}
+		}
+	}
+	if out.Stretch, err = summarize(stretches); err != nil {
+		return TopologyStats{}, err
+	}
+
+	costs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		e := ev.PeerEval(p, i)
+		costs[i] = e.Key() // finite part; unreachable pairs counted above
+	}
+	if out.CostShare, err = summarize(costs); err != nil {
+		return TopologyStats{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/opt"
+)
+
+func evaluatorFor(t *testing.T, positions []float64, alpha float64) *core.Evaluator {
+	t.Helper()
+	s, err := metric.Line(positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.NewInstance(s, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEvaluator(inst)
+}
+
+func TestGini(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+		tol  float64
+	}{
+		{nil, 0, 0},
+		{[]float64{5}, 0, 0},
+		{[]float64{3, 3, 3, 3}, 0, 1e-12},             // perfect equality
+		{[]float64{0, 0, 0, 12}, 0.75, 1e-12},         // one peer holds all
+		{[]float64{0, 0, 0, 0}, 0, 0},                 // all zero
+		{[]float64{1, 2, 3, 4}, 0.25, 1e-12},          // known value
+		{[]float64{4, 3, 2, 1}, 0.25, 1e-12},          // order-invariant
+		{[]float64{1, 1, 1, 1, 1, 95}, 0.7833, 0.001}, // hub-heavy
+	}
+	for _, c := range cases {
+		if got := Gini(c.in); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Gini(%v) = %f, want %f", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeFullMesh(t *testing.T) {
+	ev := evaluatorFor(t, []float64{0, 1, 2, 3}, 2)
+	st, err := Analyze(ev, opt.FullMesh(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Links != 12 {
+		t.Errorf("Links = %d, want 12", st.Links)
+	}
+	if st.OutDegree.Min != 3 || st.OutDegree.Max != 3 {
+		t.Errorf("OutDegree = %+v, want uniform 3", st.OutDegree)
+	}
+	if st.DegreeGini != 0 {
+		t.Errorf("DegreeGini = %f, want 0 for the mesh", st.DegreeGini)
+	}
+	if st.Stretch.Max != 1 || st.Stretch.Min != 1 {
+		t.Errorf("Stretch = %+v, want all 1", st.Stretch)
+	}
+	if st.UnreachablePairs != 0 {
+		t.Errorf("UnreachablePairs = %d", st.UnreachablePairs)
+	}
+	// Every peer pays the same on a mesh with symmetric positions? Costs
+	// are α·3 + 3 stretch = 9 each.
+	if math.Abs(st.CostShare.Min-9) > 1e-9 || math.Abs(st.CostShare.Max-9) > 1e-9 {
+		t.Errorf("CostShare = %+v, want uniform 9", st.CostShare)
+	}
+}
+
+func TestAnalyzeStarHasHub(t *testing.T) {
+	ev := evaluatorFor(t, []float64{0, 1, 2, 3, 4}, 1)
+	star, err := opt.Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Analyze(ev, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InDegree.Max != 4 {
+		t.Errorf("hub in-degree = %f, want 4", st.InDegree.Max)
+	}
+	if st.DegreeGini <= 0.3 {
+		t.Errorf("DegreeGini = %f, want hub-dominated (> 0.3)", st.DegreeGini)
+	}
+}
+
+func TestAnalyzeDisconnected(t *testing.T) {
+	ev := evaluatorFor(t, []float64{0, 1, 2}, 1)
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 1)
+	_ = p.AddLink(1, 0)
+	st, err := Analyze(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 2 unreachable from 0 and 1, and 2 reaches nobody: 4 dead pairs.
+	if st.UnreachablePairs != 4 {
+		t.Errorf("UnreachablePairs = %d, want 4", st.UnreachablePairs)
+	}
+}
+
+func TestAnalyzeSizeMismatch(t *testing.T) {
+	ev := evaluatorFor(t, []float64{0, 1}, 1)
+	if _, err := Analyze(ev, core.NewProfile(3)); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	d := Distribution{Min: 1, P25: 2, Median: 3, P75: 4, Max: 5, Mean: 3}
+	s := d.String()
+	for _, want := range []string{"min 1", "med 3", "max 5", "mean 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

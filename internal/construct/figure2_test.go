@@ -1,0 +1,297 @@
+package construct
+
+import (
+	"errors"
+	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+)
+
+func defaultIk(t *testing.T, k int) *Ik {
+	t.Helper()
+	ik, err := NewIk(k, DefaultIkParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ik
+}
+
+func TestNewIkValidation(t *testing.T) {
+	if _, err := NewIk(0, DefaultIkParams()); err == nil {
+		t.Error("k=0 should error")
+	}
+	p := DefaultIkParams()
+	p.AlphaPerK = 0
+	if _, err := NewIk(1, p); err == nil {
+		t.Error("zero alpha should error")
+	}
+	p = DefaultIkParams()
+	p.Eps = 0
+	if _, err := NewIk(1, p); err == nil {
+		t.Error("zero eps should error")
+	}
+	p = DefaultIkParams()
+	delete(p.Centers, PiC)
+	if _, err := NewIk(1, p); err == nil {
+		t.Error("missing center should error")
+	}
+}
+
+func TestIkLayout(t *testing.T) {
+	ik := defaultIk(t, 2)
+	if ik.Instance.N() != 10 {
+		t.Fatalf("N = %d, want 10", ik.Instance.N())
+	}
+	// α = AlphaPerK·k.
+	if got, want := ik.Instance.Alpha(), DefaultIkParams().AlphaPerK*2; got != want {
+		t.Errorf("alpha = %f, want %f", got, want)
+	}
+	// Intra-cluster distances are tiny, inter-cluster ~1.
+	p0, _ := ik.PeerOf(Pi1, 0)
+	p1, _ := ik.PeerOf(Pi1, 1)
+	if d := ik.Instance.Distance(p0, p1); d > 0.01 {
+		t.Errorf("intra-cluster distance = %f, want ≤ ε/n", d)
+	}
+	if d := ik.Dist(Pi1, Pi2); d < 0.5 {
+		t.Errorf("inter-cluster distance = %f, want ~1", d)
+	}
+	// The metric must be valid.
+	if err := metric.Validate(ik.Instance.Space()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerAndClusterMapping(t *testing.T) {
+	ik := defaultIk(t, 3)
+	for _, c := range []Cluster{Pi1, Pi2, PiA, PiB, PiC} {
+		for m := 0; m < 3; m++ {
+			peer, err := ik.PeerOf(c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ik.ClusterOf(peer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != c {
+				t.Errorf("ClusterOf(PeerOf(%s,%d)) = %s", c, m, back)
+			}
+		}
+	}
+	if _, err := ik.PeerOf(Pi1, 3); err == nil {
+		t.Error("offset out of range should error")
+	}
+	if _, err := ik.ClusterOf(15); err == nil {
+		t.Error("peer out of range should error")
+	}
+	if _, err := ik.ClusterOf(-1); err == nil {
+		t.Error("negative peer should error")
+	}
+}
+
+func TestRealizeAndProject(t *testing.T) {
+	ik := defaultIk(t, 2)
+	links := []ClusterLink{{Pi1, PiA}, {PiA, Pi1}, {Pi2, PiB}}
+	p, err := ik.Realize(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intra-cluster chains: 2 links per cluster (k=2), 5 clusters.
+	wantIntra := 5 * 2
+	if got := p.LinkCount(); got != wantIntra+len(links) {
+		t.Errorf("LinkCount = %d, want %d", got, wantIntra+len(links))
+	}
+	got, err := ik.InterClusterLinks(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(links) {
+		t.Fatalf("InterClusterLinks = %v", got)
+	}
+	seen := map[ClusterLink]bool{}
+	for _, l := range got {
+		seen[l] = true
+	}
+	for _, l := range links {
+		if !seen[l] {
+			t.Errorf("missing projected link %v", l)
+		}
+	}
+}
+
+func TestCandidateEnumeration(t *testing.T) {
+	cs := Candidates()
+	if len(cs) != 6 {
+		t.Fatalf("got %d candidates", len(cs))
+	}
+	for i, c := range cs {
+		if c.ID != i+1 {
+			t.Errorf("candidate %d has ID %d", i, c.ID)
+		}
+	}
+	// IDs 1,2 have no extra; 3,4 extra=B; 5,6 extra=C.
+	if cs[0].Pi1Extra != 0 || cs[2].Pi1Extra != PiB || cs[4].Pi1Extra != PiC {
+		t.Error("Pi1Extra pattern wrong")
+	}
+	if cs[0].Pi2Target != PiB || cs[1].Pi2Target != PiC {
+		t.Error("Pi2Target pattern wrong")
+	}
+}
+
+func TestCandidateProfileMatchRoundTrip(t *testing.T) {
+	ik := defaultIk(t, 1)
+	for _, c := range Candidates() {
+		p, err := ik.CandidateProfile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := ik.MatchCandidate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || got.ID != c.ID {
+			t.Errorf("candidate %d did not round-trip (got %v, ok=%v)", c.ID, got, ok)
+		}
+		ev := core.NewEvaluator(ik.Instance)
+		if !ev.Connected(p) {
+			t.Errorf("candidate %d profile is disconnected", c.ID)
+		}
+	}
+}
+
+func TestMatchCandidateRejectsSkeletonless(t *testing.T) {
+	ik := defaultIk(t, 1)
+	p := core.NewProfile(5)
+	_, ok, err := ik.MatchCandidate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("empty profile should not match any candidate")
+	}
+}
+
+func TestSettledTransitionsMatchFigure3(t *testing.T) {
+	// The headline Figure 3 reproduction: with all non-bottom peers
+	// settled to exact best responses, the six candidates transition
+	// exactly as the paper's case analysis says:
+	//   1→3, 3→4, 4→2, 2→1 (the infinite loop), and 5→3, 6→2 feed in.
+	ik := defaultIk(t, 1)
+	want := map[int]int{1: 3, 2: 1, 3: 4, 4: 2, 5: 3, 6: 2}
+	trs, err := ik.AnalyzeAllSettled(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		if !tr.SettleOK {
+			t.Errorf("candidate %d: tops did not settle", tr.From.ID)
+			continue
+		}
+		if tr.Stable {
+			t.Errorf("candidate %d is stable, contradicting Theorem 5.1", tr.From.ID)
+			continue
+		}
+		if !tr.ToOK {
+			t.Errorf("candidate %d transitions outside the candidate set", tr.From.ID)
+			continue
+		}
+		if want[tr.From.ID] != tr.To.ID {
+			t.Errorf("candidate %d → %d, paper says → %d", tr.From.ID, tr.To.ID, want[tr.From.ID])
+		}
+		if tr.PeerCluster != Pi1 && tr.PeerCluster != Pi2 {
+			t.Errorf("candidate %d: mover in %s, want a bottom cluster", tr.From.ID, tr.PeerCluster)
+		}
+	}
+}
+
+func TestOscillateNeverConverges(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		ik := defaultIk(t, k)
+		res, err := ik.Oscillate(Candidates()[0], 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged {
+			t.Fatalf("k=%d: dynamics converged, contradicting Theorem 5.1", k)
+		}
+		if !res.CycleDetected || !res.CycleProven {
+			t.Fatalf("k=%d: no proven cycle detected: %+v", k, res)
+		}
+		if res.CycleLength < 2 {
+			t.Errorf("k=%d: cycle length %d", k, res.CycleLength)
+		}
+	}
+}
+
+func TestCertifyNoNashExhaustive(t *testing.T) {
+	// Machine-checked Theorem 5.1: the full 2^20 profile space of I_1
+	// contains no pure Nash equilibrium. ~3s; skipped in -short runs.
+	if testing.Short() {
+		t.Skip("exhaustive certification skipped in short mode")
+	}
+	ik := defaultIk(t, 1)
+	if err := ik.CertifyNoNash(1 << 21); err != nil {
+		t.Fatalf("certification failed: %v", err)
+	}
+}
+
+func TestCertifyNoNashBudget(t *testing.T) {
+	ik := defaultIk(t, 2) // n=10: space astronomically large
+	err := ik.CertifyNoNash(1 << 20)
+	if !errors.Is(err, core.ErrSpaceTooLarge) {
+		t.Fatalf("err = %v, want ErrSpaceTooLarge", err)
+	}
+}
+
+func TestValidate2D(t *testing.T) {
+	if err := DefaultIkParams().Validate2D(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	p := DefaultIkParams()
+	p.Centers[PiB] = p.Centers[PiA]
+	if err := p.Validate2D(); err == nil {
+		t.Error("coinciding centers should be rejected")
+	}
+	p = DefaultIkParams()
+	delete(p.Centers, Pi2)
+	if err := p.Validate2D(); err == nil {
+		t.Error("missing center should be rejected")
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	for c, want := range map[Cluster]string{
+		Pi1: "Π1", Pi2: "Π2", PiA: "Πa", PiB: "Πb", PiC: "Πc",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestSettleExceptFreezes(t *testing.T) {
+	ik := defaultIk(t, 1)
+	p, err := ik.CandidateProfile(Candidates()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi1, pi2 := 0, 1 // lead peers of Π1, Π2 (k=1 layout)
+	ev := core.NewEvaluator(ik.Instance)
+	before1 := p.Strategy(pi1).Clone()
+	before2 := p.Strategy(pi2).Clone()
+	settled, ok, err := SettleExcept(ev, p, map[int]bool{pi1: true, pi2: true}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("settlement did not converge")
+	}
+	if !settled.Strategy(pi1).Equal(before1) || !settled.Strategy(pi2).Equal(before2) {
+		t.Error("frozen peers' strategies changed")
+	}
+	// The input profile must not be mutated.
+	if !p.Strategy(pi1).Equal(before1) {
+		t.Error("input profile mutated")
+	}
+}

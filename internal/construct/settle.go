@@ -1,0 +1,214 @@
+package construct
+
+import (
+	"fmt"
+
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/core"
+)
+
+// SettleExcept runs restricted exact best-response dynamics: every peer
+// NOT in the frozen set repeatedly plays its exact best response until
+// none of them can improve (or maxRounds passes elapse). The frozen
+// peers' strategies never change.
+//
+// This mirrors the paper's Lemma 5.2 reasoning: within a candidate Nash
+// configuration, all peers except the two deviating bottom-cluster peers
+// are in equilibrium. Settling the rest makes the Figure 3 analysis
+// about exactly the strategic choice the paper describes.
+func SettleExcept(ev *core.Evaluator, p core.Profile, frozen map[int]bool, maxRounds int) (core.Profile, bool, error) {
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	n := ev.Instance().N()
+	q := p.Clone()
+	oracle := &bestresponse.Exact{}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			if frozen[i] {
+				continue
+			}
+			gain, dev, err := bestresponse.Improvement(ev, q, i, oracle)
+			if err != nil {
+				return core.Profile{}, false, err
+			}
+			if gain > bestresponse.Tolerance {
+				if err := q.SetStrategy(i, dev.Strategy); err != nil {
+					return core.Profile{}, false, err
+				}
+				improved = true
+			}
+		}
+		if !improved {
+			return q, true, nil
+		}
+	}
+	return q, false, nil
+}
+
+// bottomLeads returns the lead peers of Π1 and Π2 (the peers whose
+// top-link choice defines a candidate).
+func (ik *Ik) bottomLeads() (pi1, pi2 int) {
+	pi1, _ = ik.PeerOf(Pi1, 0)
+	pi2, _ = ik.PeerOf(Pi2, 0)
+	return pi1, pi2
+}
+
+// SettledCandidateProfile realizes the candidate and then settles every
+// peer except the two bottom leads, so the configuration is a
+// conditional equilibrium for everyone whose strategy the candidate does
+// not pin down. Returns the settled profile; ok=false when the
+// settlement itself failed to converge within maxRounds.
+func (ik *Ik) SettledCandidateProfile(c Candidate, maxRounds int) (core.Profile, bool, error) {
+	p, err := ik.CandidateProfile(c)
+	if err != nil {
+		return core.Profile{}, false, err
+	}
+	pi1, pi2 := ik.bottomLeads()
+	ev := core.NewEvaluator(ik.Instance)
+	return SettleExcept(ev, p, map[int]bool{pi1: true, pi2: true}, maxRounds)
+}
+
+// SettledTransition analyzes one candidate with settled tops: it finds
+// the best exact deviation among the two bottom leads, applies it,
+// re-settles, and reports which candidate the system lands in.
+type SettledTransition struct {
+	From Candidate
+	// SettleOK is false when the non-bottom peers would not stabilize.
+	SettleOK bool
+	// Stable is true when neither bottom lead improves: with settled
+	// tops that makes the whole profile a Nash candidate.
+	Stable bool
+	// Peer, PeerCluster, Gain describe the best bottom deviation.
+	Peer        int
+	PeerCluster Cluster
+	Gain        float64
+	// To is the successor candidate after re-settling (ToOK reports
+	// whether it matches one of the six).
+	To   Candidate
+	ToOK bool
+}
+
+// AnalyzeSettledCandidate computes the settled transition for c.
+func (ik *Ik) AnalyzeSettledCandidate(c Candidate, maxRounds int) (SettledTransition, error) {
+	p, ok, err := ik.SettledCandidateProfile(c, maxRounds)
+	if err != nil {
+		return SettledTransition{}, err
+	}
+	tr := SettledTransition{From: c, SettleOK: ok}
+	if !ok {
+		return tr, nil
+	}
+	ev := core.NewEvaluator(ik.Instance)
+	pi1, pi2 := ik.bottomLeads()
+	oracle := &bestresponse.Exact{}
+	bestPeer, bestGain := -1, bestresponse.Tolerance
+	var bestDev core.Strategy
+	for _, peer := range []int{pi1, pi2} {
+		gain, dev, err := bestresponse.Improvement(ev, p, peer, oracle)
+		if err != nil {
+			return SettledTransition{}, err
+		}
+		if gain > bestGain {
+			bestPeer, bestGain = peer, gain
+			bestDev = dev.Strategy
+		}
+	}
+	if bestPeer < 0 {
+		tr.Stable = true
+		return tr, nil
+	}
+	tr.Peer = bestPeer
+	tr.Gain = bestGain
+	cl, err := ik.ClusterOf(bestPeer)
+	if err != nil {
+		return SettledTransition{}, err
+	}
+	tr.PeerCluster = cl
+	q := p.Clone()
+	if err := q.SetStrategy(bestPeer, bestDev); err != nil {
+		return SettledTransition{}, err
+	}
+	// Re-settle the rest, then classify.
+	settled, ok, err := SettleExcept(ev, q, map[int]bool{pi1: true, pi2: true}, maxRounds)
+	if err != nil {
+		return SettledTransition{}, err
+	}
+	if !ok {
+		return tr, nil
+	}
+	to, matched, err := ik.MatchSettledCandidate(settled)
+	if err != nil {
+		return SettledTransition{}, err
+	}
+	tr.To, tr.ToOK = to, matched
+	return tr, nil
+}
+
+// MatchSettledCandidate classifies a profile by the bottom leads'
+// top-cluster links only (the settled tops may hold arbitrary stable
+// structure, so the full-skeleton MatchCandidate is too strict here).
+func (ik *Ik) MatchSettledCandidate(p core.Profile) (Candidate, bool, error) {
+	pi1, pi2 := ik.bottomLeads()
+	topsOf := func(peer int) (map[Cluster]bool, error) {
+		out := make(map[Cluster]bool)
+		var err error
+		p.Strategy(peer).ForEach(func(j int) bool {
+			var cl Cluster
+			cl, err = ik.ClusterOf(j)
+			if err != nil {
+				return false
+			}
+			if cl == PiA || cl == PiB || cl == PiC {
+				out[cl] = true
+			}
+			return true
+		})
+		return out, err
+	}
+	tops1, err := topsOf(pi1)
+	if err != nil {
+		return Candidate{}, false, err
+	}
+	tops2, err := topsOf(pi2)
+	if err != nil {
+		return Candidate{}, false, err
+	}
+	for _, c := range Candidates() {
+		want1 := map[Cluster]bool{PiA: true}
+		if c.Pi1Extra != 0 {
+			want1[c.Pi1Extra] = true
+		}
+		want2 := map[Cluster]bool{c.Pi2Target: true}
+		if mapsEqual(tops1, want1) && mapsEqual(tops2, want2) {
+			return c, true, nil
+		}
+	}
+	return Candidate{}, false, nil
+}
+
+func mapsEqual(a, b map[Cluster]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// AnalyzeAllSettled runs AnalyzeSettledCandidate on all six candidates.
+func (ik *Ik) AnalyzeAllSettled(maxRounds int) ([]SettledTransition, error) {
+	var out []SettledTransition
+	for _, c := range Candidates() {
+		tr, err := ik.AnalyzeSettledCandidate(c, maxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("construct: settled candidate %d: %w", c.ID, err)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

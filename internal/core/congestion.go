@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Congestion is the paper's Section 6 future-work extension ("it would
+// be interesting to incorporate aspects such as overlay routing and
+// congestion into our model"): a peer that many others point to becomes
+// slow, so the effective latency of the link u→v is inflated by v's
+// in-degree:
+//
+//	w(u, v) = d(u, v) · (1 + γ · indeg(v))
+//
+// γ = 0 recovers the paper's base model. Positive γ penalizes hub
+// topologies: the star's center would absorb n−1 incoming links and slow
+// every route through it, so selfish equilibria spread load.
+//
+// Congestion is configured per instance with WithCongestion.
+func WithCongestion(gamma float64) Option {
+	return func(in *Instance) { in.congestionGamma = gamma }
+}
+
+// CongestionGamma returns the congestion coefficient γ (0 = disabled).
+func (in *Instance) CongestionGamma() float64 { return in.congestionGamma }
+
+// indegrees computes the in-degree of every peer under p with the
+// override applied, into the provided buffer.
+func (ev *Evaluator) indegrees(p Profile, override int, alt Strategy, buf []int) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	n := ev.inst.N()
+	for u := 0; u < n; u++ {
+		s := p.strategies[u]
+		if u == override {
+			s = alt
+		}
+		s.ForEach(func(j int) bool {
+			buf[j]++
+			return true
+		})
+	}
+}
+
+// congestedSSSP is the congestion-aware variant of sssp: identical
+// Dijkstra, but arc weights are scaled by the head peer's in-degree.
+func (ev *Evaluator) congestedSSSP(p Profile, src, override int, alt Strategy) []float64 {
+	n := ev.inst.N()
+	gamma := ev.inst.congestionGamma
+	if ev.indegBuf == nil {
+		ev.indegBuf = make([]int, n)
+	}
+	ev.indegrees(p, override, alt, ev.indegBuf)
+	scale := make([]float64, n)
+	for j := 0; j < n; j++ {
+		scale[j] = 1 + gamma*float64(ev.indegBuf[j])
+	}
+
+	dist := ev.inst.dist
+	d, done := ev.d, ev.done
+	for i := 0; i < n; i++ {
+		d[i] = math.Inf(1)
+		done[i] = false
+	}
+	d[src] = 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && d[v] < best {
+				u, best = v, d[v]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		s := p.strategies[u]
+		if u == override {
+			s = alt
+		}
+		du := d[u]
+		row := dist[u]
+		s.ForEach(func(j int) bool {
+			if nd := du + row[j]*scale[j]; nd < d[j] {
+				d[j] = nd
+			}
+			return true
+		})
+		if ev.inst.undirected {
+			for v := 0; v < n; v++ {
+				sv := p.strategies[v]
+				if v == override {
+					sv = alt
+				}
+				if sv.Contains(u) {
+					if nd := du + row[v]*scale[v]; nd < d[v] {
+						d[v] = nd
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// validateCongestion rejects non-finite or negative γ at construction.
+func validateCongestion(gamma float64) error {
+	if gamma < 0 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return fmt.Errorf("core: invalid congestion γ = %v", gamma)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"selfishnet/internal/metric"
+)
+
+// Instance is a topology game: a metric space of peers plus the link
+// maintenance price α and a cost model. Distances are cached in a matrix
+// at construction, so Space.Distance is evaluated only once per pair.
+type Instance struct {
+	space           metric.Space
+	alpha           float64
+	model           CostModel
+	undirected      bool
+	congestionGamma float64
+	dist            [][]float64
+}
+
+// Option configures an Instance.
+type Option func(*Instance)
+
+// WithModel selects the cost model (default StretchModel, the paper's).
+func WithModel(m CostModel) Option {
+	return func(in *Instance) { in.model = m }
+}
+
+// WithUndirected makes links traversable in both directions regardless
+// of who maintains them, as in the Fabrikant et al. network-creation
+// game (an edge bought by either endpoint serves both). The paper's P2P
+// game is directed (a pointer is only useful to the peer storing it), so
+// the default is directed.
+func WithUndirected() Option {
+	return func(in *Instance) { in.undirected = true }
+}
+
+// NewInstance creates a game over the given space with parameter α ≥ 0.
+func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, error) {
+	if space == nil {
+		return nil, fmt.Errorf("core: nil space")
+	}
+	if space.N() < 2 {
+		return nil, fmt.Errorf("core: game needs at least 2 peers, got %d", space.N())
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("core: invalid alpha %v", alpha)
+	}
+	in := &Instance{
+		space: space,
+		alpha: alpha,
+		model: StretchModel{},
+	}
+	for _, opt := range opts {
+		opt(in)
+	}
+	if err := validateCongestion(in.congestionGamma); err != nil {
+		return nil, err
+	}
+	n := space.N()
+	in.dist = make([][]float64, n)
+	for i := range in.dist {
+		in.dist[i] = make([]float64, n)
+		for j := range in.dist[i] {
+			if i == j {
+				continue
+			}
+			d := space.Distance(i, j)
+			if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, fmt.Errorf("core: space distance d(%d,%d) = %v, want finite positive", i, j, d)
+			}
+			in.dist[i][j] = d
+		}
+	}
+	return in, nil
+}
+
+// N returns the number of peers.
+func (in *Instance) N() int { return in.space.N() }
+
+// Alpha returns the link-maintenance price α.
+func (in *Instance) Alpha() float64 { return in.alpha }
+
+// Model returns the cost model.
+func (in *Instance) Model() CostModel { return in.model }
+
+// Space returns the underlying metric space.
+func (in *Instance) Space() metric.Space { return in.space }
+
+// Distance returns the cached direct distance d(i,j).
+func (in *Instance) Distance(i, j int) float64 { return in.dist[i][j] }
+
+// Cost is a decomposed cost value: Link is the α·degree part (C_E for a
+// peer, α|E| for the whole system) and Term is the stretch/distance part
+// (C_S). Total is their sum.
+type Cost struct {
+	Link float64
+	Term float64
+}
+
+// Total returns Link + Term.
+func (c Cost) Total() float64 { return c.Link + c.Term }
+
+// Evaluator computes peer and social costs for profiles over one
+// instance, reusing internal buffers. It is not safe for concurrent use;
+// create one per goroutine with NewEvaluator.
+type Evaluator struct {
+	inst *Instance
+	// Scratch for the dense Dijkstra.
+	d    []float64
+	done []bool
+	// Scratch for congestion-aware evaluation.
+	indegBuf []int
+}
+
+// NewEvaluator returns an evaluator bound to the instance.
+func NewEvaluator(inst *Instance) *Evaluator {
+	n := inst.N()
+	return &Evaluator{
+		inst: inst,
+		d:    make([]float64, n),
+		done: make([]bool, n),
+	}
+}
+
+// Instance returns the bound instance.
+func (ev *Evaluator) Instance() *Instance { return ev.inst }
+
+// sssp runs a dense Dijkstra from src over the profile topology, with
+// peer override's strategy replaced by alt (override = -1 disables the
+// override). The result is valid until the next sssp call.
+func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 {
+	if ev.inst.congestionGamma > 0 {
+		return ev.congestedSSSP(p, src, override, alt)
+	}
+	n := ev.inst.N()
+	dist := ev.inst.dist
+	d, done := ev.d, ev.done
+	for i := 0; i < n; i++ {
+		d[i] = math.Inf(1)
+		done[i] = false
+	}
+	d[src] = 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && d[v] < best {
+				u, best = v, d[v]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		s := p.strategies[u]
+		if u == override {
+			s = alt
+		}
+		du := d[u]
+		row := dist[u]
+		s.ForEach(func(j int) bool {
+			if nd := du + row[j]; nd < d[j] {
+				d[j] = nd
+			}
+			return true
+		})
+		if ev.inst.undirected {
+			// Links owned by others are traversable too.
+			for v := 0; v < n; v++ {
+				sv := p.strategies[v]
+				if v == override {
+					sv = alt
+				}
+				if sv.Contains(u) {
+					if nd := du + row[v]; nd < d[v] {
+						d[v] = nd
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Undirected reports whether links are traversable in both directions.
+func (in *Instance) Undirected() bool { return in.undirected }
+
+// Eval is a peer cost enriched with connectivity information. When a
+// peer cannot reach everyone its paper cost is +Inf; comparing two
+// infinite costs is meaningless, so oracles and dynamics order Evals
+// lexicographically: fewer unreachable peers first, then smaller finite
+// cost (Key). For connected strategies this coincides with Cost.Total().
+type Eval struct {
+	Cost        Cost
+	Unreachable int     // number of peers with no overlay path from i
+	FiniteTerm  float64 // sum of terms over reachable pairs only
+}
+
+// Key returns the finite comparable cost: Link + FiniteTerm.
+func (e Eval) Key() float64 { return e.Cost.Link + e.FiniteTerm }
+
+// Better reports whether e is strictly better than o: it reaches
+// strictly more peers, or reaches the same number at a cost smaller by
+// more than tol.
+func (e Eval) Better(o Eval, tol float64) bool {
+	if e.Unreachable != o.Unreachable {
+		return e.Unreachable < o.Unreachable
+	}
+	return e.Key() < o.Key()-tol
+}
+
+// Gain returns how much is saved by moving from e to alternative alt:
+// +Inf if alt reaches strictly more peers, -Inf if strictly fewer, and
+// the finite cost difference otherwise.
+func (e Eval) Gain(alt Eval) float64 {
+	if alt.Unreachable < e.Unreachable {
+		return math.Inf(1)
+	}
+	if alt.Unreachable > e.Unreachable {
+		return math.Inf(-1)
+	}
+	return e.Key() - alt.Key()
+}
+
+// peerEvalFrom computes the Eval of peer i given the SSSP distances from
+// i and the out-degree of the (possibly overridden) strategy.
+func (ev *Evaluator) peerEvalFrom(d []float64, i, degree int) Eval {
+	inst := ev.inst
+	e := Eval{Cost: Cost{Link: inst.alpha * float64(degree)}}
+	for j := 0; j < inst.N(); j++ {
+		if j == i {
+			continue
+		}
+		t := inst.model.Term(d[j], inst.dist[i][j])
+		e.Cost.Term += t
+		if math.IsInf(t, 1) {
+			e.Unreachable++
+		} else {
+			e.FiniteTerm += t
+		}
+	}
+	return e
+}
+
+// PeerEval returns peer i's enriched cost under profile p.
+func (ev *Evaluator) PeerEval(p Profile, i int) Eval {
+	d := ev.sssp(p, i, -1, Strategy{})
+	return ev.peerEvalFrom(d, i, p.OutDegree(i))
+}
+
+// DeviationEval returns peer i's enriched cost if it unilaterally
+// switches to strategy alt while everyone else keeps playing p.
+func (ev *Evaluator) DeviationEval(p Profile, i int, alt Strategy) Eval {
+	d := ev.sssp(p, i, i, alt)
+	return ev.peerEvalFrom(d, i, alt.Count())
+}
+
+// PeerCost returns peer i's decomposed cost under profile p. The Term
+// part is +Inf if i cannot reach some peer.
+func (ev *Evaluator) PeerCost(p Profile, i int) Cost {
+	return ev.PeerEval(p, i).Cost
+}
+
+// DeviationCost returns peer i's cost if it unilaterally switches to
+// strategy alt while everyone else keeps playing p.
+func (ev *Evaluator) DeviationCost(p Profile, i int, alt Strategy) Cost {
+	return ev.DeviationEval(p, i, alt).Cost
+}
+
+// SocialCost returns the decomposed social cost C(G) = α|E| + Σ terms.
+func (ev *Evaluator) SocialCost(p Profile) Cost {
+	total := Cost{}
+	for i := 0; i < ev.inst.N(); i++ {
+		c := ev.PeerCost(p, i)
+		total.Link += c.Link
+		total.Term += c.Term
+	}
+	return total
+}
+
+// TermMatrix returns the per-pair cost terms: entry (i,j) is the model
+// term for pair (i,j) (the stretch, under the paper's model). Diagonal
+// entries are 0; unreachable pairs are +Inf.
+func (ev *Evaluator) TermMatrix(p Profile) [][]float64 {
+	n := ev.inst.N()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d := ev.sssp(p, i, -1, Strategy{})
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				row[j] = ev.inst.model.Term(d[j], ev.inst.dist[i][j])
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// MaxTerm returns the largest pairwise term (the maximum stretch under
+// the paper's model). Theorem 4.1's key step bounds this by α+1 in any
+// Nash equilibrium.
+func (ev *Evaluator) MaxTerm(p Profile) float64 {
+	n := ev.inst.N()
+	maxT := 0.0
+	for i := 0; i < n; i++ {
+		d := ev.sssp(p, i, -1, Strategy{})
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if t := ev.inst.model.Term(d[j], ev.inst.dist[i][j]); t > maxT {
+				maxT = t
+			}
+		}
+	}
+	return maxT
+}
+
+// Connected reports whether every peer reaches every other along the
+// directed overlay.
+func (ev *Evaluator) Connected(p Profile) bool {
+	n := ev.inst.N()
+	for i := 0; i < n; i++ {
+		d := ev.sssp(p, i, -1, Strategy{})
+		for j := 0; j < n; j++ {
+			if i != j && math.IsInf(d[j], 1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Distances returns the SSSP distances from src in the overlay G[p].
+// The returned slice is freshly allocated.
+func (ev *Evaluator) Distances(p Profile, src int) ([]float64, error) {
+	if src < 0 || src >= ev.inst.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, ev.inst.N())
+	}
+	d := ev.sssp(p, src, -1, Strategy{})
+	return append([]float64(nil), d...), nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+// TestQuickScaleInvariance: scaling every distance by c > 0 leaves all
+// stretch-model costs unchanged — the game only sees ratios. This is a
+// load-bearing property: it means instances can be normalized freely.
+func TestQuickScaleInvariance(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		r := rng.New(seed)
+		scale := 0.1 + float64(scaleRaw)/16 // 0.1 .. ~16
+		n := 3 + r.Intn(6)
+		space, err := metric.UniformPoints(r, n, 2)
+		if err != nil {
+			return false
+		}
+		scaled, err := metric.Scale(space, scale)
+		if err != nil {
+			return false
+		}
+		alpha := r.Range(0, 8)
+		a, err := NewInstance(space, alpha)
+		if err != nil {
+			return false
+		}
+		b, err := NewInstance(scaled, alpha)
+		if err != nil {
+			return false
+		}
+		evA, evB := NewEvaluator(a), NewEvaluator(b)
+		p := randomProfile(r, n, 0.4)
+		for i := 0; i < n; i++ {
+			ca, cb := evA.PeerEval(p, i), evB.PeerEval(p, i)
+			if ca.Unreachable != cb.Unreachable {
+				return false
+			}
+			if math.Abs(ca.Key()-cb.Key()) > 1e-6*math.Max(1, ca.Key()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTermMatrixConsistentWithPeerEval: the stretch matrix row sums
+// must reproduce each peer's term cost.
+func TestQuickTermMatrixConsistentWithPeerEval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(6)
+		space, err := metric.UniformPoints(r, n, 2)
+		if err != nil {
+			return false
+		}
+		inst, err := NewInstance(space, 2)
+		if err != nil {
+			return false
+		}
+		ev := NewEvaluator(inst)
+		p := randomProfile(r, n, 0.5)
+		tm := ev.TermMatrix(p)
+		for i := 0; i < n; i++ {
+			sum, unreachable := 0.0, 0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if math.IsInf(tm[i][j], 1) {
+					unreachable++
+				} else {
+					sum += tm[i][j]
+				}
+			}
+			e := ev.PeerEval(p, i)
+			if e.Unreachable != unreachable {
+				return false
+			}
+			if math.Abs(e.FiniteTerm-sum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddingLinksNeverHurtsReachability: adding a link can only
+// shrink distances, so unreachable counts and finite terms are monotone.
+func TestQuickAddingLinksNeverHurtsReachability(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(6)
+		space, err := metric.UniformPoints(r, n, 2)
+		if err != nil {
+			return false
+		}
+		inst, err := NewInstance(space, 1)
+		if err != nil {
+			return false
+		}
+		ev := NewEvaluator(inst)
+		p := randomProfile(r, n, 0.2)
+		// Pick a random absent link and add it.
+		from := r.Intn(n)
+		to := r.Intn(n - 1)
+		if to >= from {
+			to++
+		}
+		before := ev.PeerEval(p, from)
+		q := p.Clone()
+		_ = q.AddLink(from, to)
+		after := ev.PeerEval(q, from)
+		if after.Unreachable > before.Unreachable {
+			return false
+		}
+		// Term part (excluding the α for the extra link) cannot grow.
+		return after.FiniteTerm <= before.FiniteTerm+1e-9 ||
+			after.Unreachable < before.Unreachable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProfileSpaceEnumerationCount: EnumerateProfiles yields exactly
+// 2^(n(n-1)) distinct profiles.
+func TestProfileSpaceEnumerationCount(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		seen := make(map[uint64]bool)
+		count := 0
+		err := EnumerateProfiles(n, 0, func(p Profile) bool {
+			count++
+			seen[p.Hash()] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(ProfileSpaceSize(n))
+		if count != want {
+			t.Errorf("n=%d: enumerated %d, want %d", n, count, want)
+		}
+		if len(seen) != want {
+			t.Errorf("n=%d: %d distinct hashes, want %d (collision or repeat)", n, len(seen), want)
+		}
+	}
+}
+
+func TestEnumerateProfilesEarlyStop(t *testing.T) {
+	count := 0
+	err := EnumerateProfiles(3, 0, func(Profile) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop failed: %d", count)
+	}
+}
+
+func TestEnumerateProfilesValidation(t *testing.T) {
+	if err := EnumerateProfiles(0, 0, func(Profile) bool { return true }); err == nil {
+		t.Error("n=0 should error")
+	}
+	if err := EnumerateProfiles(6, 100, func(Profile) bool { return true }); err == nil {
+		t.Error("space over budget should error")
+	}
+}

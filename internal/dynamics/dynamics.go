@@ -1,0 +1,442 @@
+// Package dynamics runs best-response dynamics: starting from some
+// profile, repeatedly let one peer switch to a better strategy until no
+// peer can improve (a Nash equilibrium) or a state repeats.
+//
+// The paper's Section 5 shows that for the instance I_k these dynamics
+// never stabilize; the engine's cycle detection turns that claim into a
+// measurement. A repeated (profile, scheduler-state) pair under a
+// deterministic policy is a proof that the run loops forever.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/core"
+	"selfishnet/internal/rng"
+)
+
+// Policy selects which improving peer moves next.
+type Policy interface {
+	// PickNext returns the next peer that should move, or -1 when no
+	// peer can improve by more than tol. gain(i) returns peer i's best
+	// available improvement (expensive; policies should call it
+	// sparingly).
+	PickNext(n int, gain func(int) float64, tol float64, r *rng.RNG) int
+	// StateKey exposes scheduler-internal state so the engine can hash
+	// it alongside the profile for sound cycle detection.
+	StateKey() uint64
+	// Deterministic reports whether the policy ignores the RNG; only
+	// then does a repeated state prove an infinite cycle.
+	Deterministic() bool
+	// Reset clears internal state before a run.
+	Reset()
+	// Name identifies the policy in tables.
+	Name() string
+}
+
+// RoundRobin cycles through peers in index order, resuming after the
+// last mover. The classic fair activation schedule.
+type RoundRobin struct {
+	ptr int
+}
+
+var _ Policy = (*RoundRobin)(nil)
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Deterministic returns true.
+func (*RoundRobin) Deterministic() bool { return true }
+
+// Reset rewinds the pointer to peer 0.
+func (p *RoundRobin) Reset() { p.ptr = 0 }
+
+// StateKey returns the scan pointer.
+func (p *RoundRobin) StateKey() uint64 { return uint64(p.ptr) }
+
+// PickNext scans from the pointer for the first improving peer.
+func (p *RoundRobin) PickNext(n int, gain func(int) float64, tol float64, _ *rng.RNG) int {
+	for k := 0; k < n; k++ {
+		i := (p.ptr + k) % n
+		if gain(i) > tol {
+			p.ptr = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// FirstImproving always scans peers 0..n-1 and picks the first that can
+// improve. Stateless and deterministic.
+type FirstImproving struct{}
+
+var _ Policy = (*FirstImproving)(nil)
+
+// Name returns "first-improving".
+func (FirstImproving) Name() string { return "first-improving" }
+
+// Deterministic returns true.
+func (FirstImproving) Deterministic() bool { return true }
+
+// Reset is a no-op.
+func (FirstImproving) Reset() {}
+
+// StateKey returns 0 (stateless).
+func (FirstImproving) StateKey() uint64 { return 0 }
+
+// PickNext scans from peer 0.
+func (FirstImproving) PickNext(n int, gain func(int) float64, tol float64, _ *rng.RNG) int {
+	for i := 0; i < n; i++ {
+		if gain(i) > tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxGain picks the peer with the largest available improvement
+// (lowest index on ties). Stateless and deterministic, so repeated
+// profiles prove cycles.
+type MaxGain struct{}
+
+var _ Policy = (*MaxGain)(nil)
+
+// Name returns "max-gain".
+func (MaxGain) Name() string { return "max-gain" }
+
+// Deterministic returns true.
+func (MaxGain) Deterministic() bool { return true }
+
+// Reset is a no-op.
+func (MaxGain) Reset() {}
+
+// StateKey returns 0 (stateless).
+func (MaxGain) StateKey() uint64 { return 0 }
+
+// PickNext computes every peer's gain and returns the argmax.
+func (MaxGain) PickNext(n int, gain func(int) float64, tol float64, _ *rng.RNG) int {
+	best, bestGain := -1, tol
+	for i := 0; i < n; i++ {
+		if g := gain(i); g > bestGain {
+			best, bestGain = i, g
+		}
+	}
+	return best
+}
+
+// RandomImproving activates a uniformly random improving peer each step.
+// Nondeterministic: repeated states do not prove infinite cycles.
+type RandomImproving struct{}
+
+var _ Policy = (*RandomImproving)(nil)
+
+// Name returns "random".
+func (RandomImproving) Name() string { return "random" }
+
+// Deterministic returns false.
+func (RandomImproving) Deterministic() bool { return false }
+
+// Reset is a no-op.
+func (RandomImproving) Reset() {}
+
+// StateKey returns 0.
+func (RandomImproving) StateKey() uint64 { return 0 }
+
+// PickNext scans peers in a random order and picks the first improving.
+func (RandomImproving) PickNext(n int, gain func(int) float64, tol float64, r *rng.RNG) int {
+	if r == nil {
+		return FirstImproving{}.PickNext(n, gain, tol, nil)
+	}
+	for _, i := range r.Perm(n) {
+		if gain(i) > tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// StepEvent describes one applied strategy change.
+type StepEvent struct {
+	Step    int
+	Peer    int
+	Old     core.Eval
+	New     core.Eval
+	Profile core.Profile // snapshot after the move (clone)
+}
+
+// Config parameterizes a dynamics run.
+type Config struct {
+	// Oracle computes deviations (default bestresponse.Exact).
+	Oracle bestresponse.Oracle
+	// Policy selects movers (default RoundRobin).
+	Policy Policy
+	// Tol is the improvement threshold (default bestresponse.Tolerance).
+	Tol float64
+	// MaxSteps bounds applied moves (default 10000).
+	MaxSteps int
+	// Rand feeds randomized policies; may be nil for deterministic ones.
+	Rand *rng.RNG
+	// DetectCycles enables state hashing and exact repeat verification.
+	DetectCycles bool
+	// OnStep, when non-nil, receives every applied move.
+	OnStep func(StepEvent)
+}
+
+// Result summarizes a dynamics run.
+type Result struct {
+	// Final is the last profile (an equilibrium iff Converged).
+	Final core.Profile
+	// Converged is true when no peer could improve.
+	Converged bool
+	// Steps is the number of strategy changes applied.
+	Steps int
+	// CycleDetected is true when a (profile, scheduler-state) pair
+	// repeated. CycleLength is the number of steps between repeats.
+	CycleDetected bool
+	CycleLength   int
+	// CycleProven is true when the cycle was found under a
+	// deterministic policy, making the repeat a proof of divergence.
+	CycleProven bool
+	// CycleProfiles holds the distinct profiles along the detected
+	// cycle, in order (only when DetectCycles).
+	CycleProfiles []core.Profile
+}
+
+// ErrNoProgress is returned if a policy returns a peer whose oracle
+// finds no improvement (a policy bug or an inconsistent tolerance).
+var ErrNoProgress = errors.New("dynamics: selected peer has no improving deviation")
+
+// Run executes best-response dynamics from the start profile. The start
+// profile is not mutated.
+func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+	n := ev.Instance().N()
+	if start.N() != n {
+		return Result{}, fmt.Errorf("dynamics: start profile has %d peers, instance has %d", start.N(), n)
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = &bestresponse.Exact{}
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = &RoundRobin{}
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = bestresponse.Tolerance
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 10_000
+	}
+	cfg.Policy.Reset()
+
+	p := start.Clone()
+	res := Result{}
+
+	type visit struct {
+		step    int
+		profile core.Profile
+		state   uint64
+	}
+	var seen map[uint64][]visit
+	var trail []core.Profile
+	if cfg.DetectCycles {
+		seen = make(map[uint64][]visit)
+		trail = make([]core.Profile, 0, 64)
+	}
+
+	// Per-step cache of best responses so PickNext's gains are reused
+	// when applying the move.
+	devCache := make(map[int]bestresponse.Result, n)
+	var oracleErr error
+	gain := func(i int) float64 {
+		if oracleErr != nil {
+			return 0
+		}
+		cur := ev.PeerEval(p, i)
+		dev, ok := devCache[i]
+		if !ok {
+			var err error
+			_, dev, err = bestresponse.Improvement(ev, p, i, cfg.Oracle)
+			if err != nil {
+				oracleErr = err
+				return 0
+			}
+			devCache[i] = dev
+		}
+		return cur.Gain(dev.Eval)
+	}
+
+	for step := 0; step < cfg.MaxSteps; step++ {
+		if cfg.DetectCycles {
+			key := p.Hash() ^ mix(cfg.Policy.StateKey())
+			for _, v := range seen[key] {
+				if v.state == cfg.Policy.StateKey() && v.profile.Equal(p) {
+					res.CycleDetected = true
+					res.CycleLength = step - v.step
+					res.CycleProven = cfg.Policy.Deterministic()
+					res.CycleProfiles = append(res.CycleProfiles, trail[v.step:]...)
+					res.Final = p
+					res.Steps = step
+					return res, nil
+				}
+			}
+			seen[key] = append(seen[key], visit{step: step, profile: p.Clone(), state: cfg.Policy.StateKey()})
+			trail = append(trail, p.Clone())
+		}
+
+		mover := cfg.Policy.PickNext(n, gain, cfg.Tol, cfg.Rand)
+		if oracleErr != nil {
+			return Result{}, oracleErr
+		}
+		if mover == -1 {
+			res.Final = p
+			res.Converged = true
+			res.Steps = step
+			return res, nil
+		}
+		dev, ok := devCache[mover]
+		if !ok {
+			return Result{}, ErrNoProgress
+		}
+		old := ev.PeerEval(p, mover)
+		if !dev.Eval.Better(old, cfg.Tol) {
+			return Result{}, ErrNoProgress
+		}
+		if err := p.SetStrategy(mover, dev.Strategy); err != nil {
+			return Result{}, err
+		}
+		clear(devCache)
+		res.Steps = step + 1
+		if cfg.OnStep != nil {
+			cfg.OnStep(StepEvent{
+				Step:    step,
+				Peer:    mover,
+				Old:     old,
+				New:     dev.Eval,
+				Profile: p.Clone(),
+			})
+		}
+	}
+	res.Final = p
+	return res, nil // neither converged nor (detected) cycling: budget ran out
+}
+
+// mix is a 64-bit finalizer applied to scheduler state before XOR-ing it
+// into the profile hash, so small pointer values do not collide with
+// profile bits.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ConvergenceStats aggregates repeated runs from random starting
+// profiles: how often dynamics converge and how many steps they take.
+type ConvergenceStats struct {
+	Runs          int
+	Converged     int
+	Cycled        int
+	OutOfBudget   int
+	MeanSteps     float64 // over converged runs
+	MaxSteps      int     // over converged runs
+	MeanCycleLen  float64 // over cycled runs
+	TotalApplied  int
+	DistinctFinal int // distinct final/equilibrium profiles seen
+}
+
+// RandomProfile draws a profile where each ordered pair is linked with
+// probability q.
+func RandomProfile(r *rng.RNG, n int, q float64) core.Profile {
+	p := core.NewProfile(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.Bool(q) {
+				_ = p.AddLink(i, j)
+			}
+		}
+	}
+	return p
+}
+
+// Converge runs dynamics from `runs` random starting profiles and
+// aggregates the outcomes. Each run gets an independent RNG stream split
+// from r.
+func Converge(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) (ConvergenceStats, error) {
+	if runs <= 0 {
+		return ConvergenceStats{}, fmt.Errorf("dynamics: runs = %d, want > 0", runs)
+	}
+	if r == nil {
+		return ConvergenceStats{}, errors.New("dynamics: Converge needs an RNG")
+	}
+	stats := ConvergenceStats{Runs: runs}
+	finals := make(map[uint64]bool)
+	sumSteps, sumCycle := 0, 0
+	for k := 0; k < runs; k++ {
+		runCfg := cfg
+		runCfg.Rand = r.Split()
+		start := RandomProfile(r, ev.Instance().N(), linkProb)
+		res, err := Run(ev, start, runCfg)
+		if err != nil {
+			return ConvergenceStats{}, fmt.Errorf("dynamics: run %d: %w", k, err)
+		}
+		stats.TotalApplied += res.Steps
+		switch {
+		case res.Converged:
+			stats.Converged++
+			sumSteps += res.Steps
+			if res.Steps > stats.MaxSteps {
+				stats.MaxSteps = res.Steps
+			}
+			finals[res.Final.Hash()] = true
+		case res.CycleDetected:
+			stats.Cycled++
+			sumCycle += res.CycleLength
+		default:
+			stats.OutOfBudget++
+		}
+	}
+	if stats.Converged > 0 {
+		stats.MeanSteps = float64(sumSteps) / float64(stats.Converged)
+	}
+	if stats.Cycled > 0 {
+		stats.MeanCycleLen = float64(sumCycle) / float64(stats.Cycled)
+	}
+	stats.DistinctFinal = len(finals)
+	return stats, nil
+}
+
+// WorstEquilibrium runs dynamics from many random starts and returns the
+// converged equilibrium with the highest social cost, along with how
+// many runs converged. Used by the Price-of-Anarchy experiments to
+// search for bad equilibria. Returns ok=false if no run converged.
+func WorstEquilibrium(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) (worst core.Profile, cost core.Cost, converged int, ok bool, err error) {
+	if r == nil {
+		return core.Profile{}, core.Cost{}, 0, false, errors.New("dynamics: WorstEquilibrium needs an RNG")
+	}
+	worstCost := math.Inf(-1)
+	for k := 0; k < runs; k++ {
+		runCfg := cfg
+		runCfg.Rand = r.Split()
+		start := RandomProfile(r, ev.Instance().N(), linkProb)
+		res, runErr := Run(ev, start, runCfg)
+		if runErr != nil {
+			return core.Profile{}, core.Cost{}, 0, false, fmt.Errorf("dynamics: run %d: %w", k, runErr)
+		}
+		if !res.Converged {
+			continue
+		}
+		converged++
+		c := ev.SocialCost(res.Final)
+		if c.Total() > worstCost {
+			worstCost = c.Total()
+			worst = res.Final
+			cost = c
+			ok = true
+		}
+	}
+	return worst, cost, converged, ok, nil
+}

@@ -1,0 +1,84 @@
+// Package experiments implements the reproduction harness: one runner
+// per paper item (theorem, lemma, figure), each returning a typed table
+// with the same rows/series the paper's claims predict. The cmd/topogame
+// CLI, the repository-level benchmarks and EXPERIMENTS.md all consume
+// these runners.
+//
+// Every runner is deterministic given its Params (explicit seeds, no
+// wall-clock), so tables regenerate bit-identically.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"selfishnet/internal/export"
+)
+
+// Runner produces one experiment's table.
+type Runner func(Params) (*export.Table, error)
+
+// Params tunes experiment scale. The zero value means "paper defaults";
+// Quick trims sizes for smoke tests and benchmarks.
+type Params struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick reduces instance sizes and run counts (~10× faster), for
+	// benchmarks and CI smoke tests.
+	Quick bool
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// registry maps experiment IDs to runners.
+var registry = map[string]struct {
+	runner Runner
+	desc   string
+}{
+	"e1-upper":     {E1Upper, "Theorem 4.1: max stretch ≤ α+1 in Nash equilibria; PoA within O(min(α,n))"},
+	"e2-fig1":      {E2Figure1, "Figure 1 + Lemma 4.2: the lower-bound topology is Nash for α ≥ 3.4"},
+	"e3-cost":      {E3CostScaling, "Lemma 4.3: C_S(G) ∈ Θ(αn²), C_E(G) ∈ Θ(αn) growth-exponent fits"},
+	"e4-poa":       {E4PriceOfAnarchy, "Theorem 4.4: Price of Anarchy of the Figure 1 family is Θ(min(α,n))"},
+	"e5-nonash":    {E5NoNash, "Theorem 5.1: I_k has no pure Nash equilibrium; dynamics never stabilize"},
+	"e6-cycle":     {E6CandidateCycle, "Figure 3: the six candidates and the best-response cycle 1→3→4→2→1"},
+	"e7-tulip":     {E7SqrtRegime, "Footnote 2: α = Θ(√n) regime, locality-aware O(√n)-degree overlays"},
+	"e8-dyn":       {E8Convergence, "Section 5 context: convergence of BR dynamics on random metrics"},
+	"e9-churn":     {E9Churn, "Extension: overlay simulation under churn, selfish vs structured repair"},
+	"e10-baseline": {E10Baselines, "Related work: same peers under stretch, Fabrikant and bilateral games"},
+	"e11-exact":    {E11Landscape, "Extension: exact equilibrium landscape (PoS and PoA) on tiny instances"},
+	"e12-oracle":   {E12Oracles, "Ablation: heuristic oracles vs the exact best response; pruning effectiveness"},
+	"e13-congest":  {E13Congestion, "Extension (§6): congestion-aware links — equilibria avoid hubs as γ grows"},
+}
+
+// IDs returns the experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e.desc, nil
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, p Params) (*export.Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.runner(p)
+}

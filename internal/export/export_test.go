@@ -1,0 +1,169 @@
+package export
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+)
+
+func TestTableText(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"n", "alpha", "ratio"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("5", "3.4000", "1.2")
+	tb.AddRow("100", "10", "2.75")
+	out := tb.Text()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows + note = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator same length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestTableTextRowMismatch(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("only-one")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err == nil {
+		t.Error("row length mismatch should error")
+	}
+	if err := tb.WriteCSV(&sb); err == nil {
+		t.Error("CSV row length mismatch should error")
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "value"}}
+	tb.AddRow(`say "hi", ok`, "line\nbreak")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"say ""hi"", ok"`) {
+		t.Errorf("quote escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "\"line\nbreak\"") {
+		t.Errorf("newline escaping wrong:\n%s", out)
+	}
+}
+
+func TestNumFormats(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.5:     "3.5000",
+		1e16:    "1.000e+16",
+		-2:      "-2",
+		0.12345: "0.1235",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Num(math.NaN()) != "NaN" {
+		t.Error("NaN formatting wrong")
+	}
+	if Int(42) != "42" {
+		t.Error("Int formatting wrong")
+	}
+}
+
+func testSpace(t *testing.T) *metric.Points {
+	t.Helper()
+	s, err := metric.NewPoints([][]float64{{0, 0}, {1, 0}, {0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteDOT(t *testing.T) {
+	s := testSpace(t)
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 1)
+	_ = p.AddLink(2, 0)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, p, s, "fig"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`digraph "fig"`, "n0 -> n1;", "n2 -> n0;", `pos="0.5000,1.0000!"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithoutPositions(t *testing.T) {
+	m, err := metric.Uniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 2)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, p, m, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n0 -> n2;") {
+		t.Errorf("missing edge:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "pos=") {
+		t.Errorf("unexpected positions for matrix space:\n%s", sb.String())
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	s := testSpace(t)
+	p := core.NewProfile(3)
+	_ = p.AddLink(0, 1)
+	_ = p.AddLink(1, 2)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, p, s, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "marker-end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3", got)
+	}
+	if got := strings.Count(out, "<line"); got != 2 {
+		t.Errorf("lines = %d, want 2", got)
+	}
+}
+
+func TestASCIILine(t *testing.T) {
+	s, err := metric.Line([]float64{0.5, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewProfile(3)
+	_ = p.AddLink(1, 0)
+	_ = p.AddLink(0, 2)
+	out := ASCIILine(p, s)
+	for _, want := range []string{"0 --- 1 --- 2", "1 ← 0", "0 → 2", "0: 0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package export
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+)
+
+// InstanceDoc is the on-disk JSON form of a game instance plus a
+// topology, consumed by cmd/nashcheck and cmd/topoviz:
+//
+//	{
+//	  "alpha": 4.0,
+//	  "model": "stretch",           // or "distance"; default "stretch"
+//	  "undirected": false,
+//	  "points": [[0.5], [4], [8]],  // coordinates (any fixed dimension)
+//	  "matrix": [[...], ...],       // alternatively: explicit distances
+//	  "links": [[0,1], [1,0]]       // directed links, from → to
+//	}
+//
+// Exactly one of points/matrix must be present.
+type InstanceDoc struct {
+	Alpha      float64     `json:"alpha"`
+	Model      string      `json:"model,omitempty"`
+	Undirected bool        `json:"undirected,omitempty"`
+	Points     [][]float64 `json:"points,omitempty"`
+	Matrix     [][]float64 `json:"matrix,omitempty"`
+	Links      [][2]int    `json:"links"`
+}
+
+// ReadInstanceDoc decodes an InstanceDoc from JSON.
+func ReadInstanceDoc(r io.Reader) (*InstanceDoc, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc InstanceDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("export: decoding instance: %w", err)
+	}
+	return &doc, nil
+}
+
+// WriteJSON encodes the document with indentation.
+func (d *InstanceDoc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Space builds the metric space described by the document.
+func (d *InstanceDoc) Space() (metric.Space, error) {
+	switch {
+	case len(d.Points) > 0 && len(d.Matrix) > 0:
+		return nil, errors.New("export: instance has both points and matrix")
+	case len(d.Points) > 0:
+		return metric.NewPoints(d.Points)
+	case len(d.Matrix) > 0:
+		return metric.NewMatrix(d.Matrix)
+	default:
+		return nil, errors.New("export: instance needs points or matrix")
+	}
+}
+
+// Instance builds the core game instance described by the document.
+func (d *InstanceDoc) Instance() (*core.Instance, error) {
+	space, err := d.Space()
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{}
+	if d.Model != "" {
+		m, err := core.ModelByName(d.Model)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithModel(m))
+	}
+	if d.Undirected {
+		opts = append(opts, core.WithUndirected())
+	}
+	return core.NewInstance(space, d.Alpha, opts...)
+}
+
+// Profile builds the strategy profile described by the document's links.
+func (d *InstanceDoc) Profile() (core.Profile, error) {
+	n := len(d.Points)
+	if n == 0 {
+		n = len(d.Matrix)
+	}
+	p := core.NewProfile(n)
+	for _, l := range d.Links {
+		if err := p.AddLink(l[0], l[1]); err != nil {
+			return core.Profile{}, err
+		}
+	}
+	return p, nil
+}
+
+// DocFor serializes an instance + profile into a document. Point
+// coordinates are preserved when the space is Positioned; otherwise the
+// distance matrix is materialized.
+func DocFor(inst *core.Instance, p core.Profile) *InstanceDoc {
+	doc := &InstanceDoc{
+		Alpha:      inst.Alpha(),
+		Model:      inst.Model().Name(),
+		Undirected: inst.Undirected(),
+		Links:      p.Links(),
+	}
+	if pos, ok := inst.Space().(metric.Positioned); ok {
+		for i := 0; i < inst.N(); i++ {
+			doc.Points = append(doc.Points, append([]float64(nil), pos.Position(i)...))
+		}
+	} else {
+		doc.Matrix = make([][]float64, inst.N())
+		for i := range doc.Matrix {
+			doc.Matrix[i] = make([]float64, inst.N())
+			for j := range doc.Matrix[i] {
+				if i != j {
+					doc.Matrix[i][j] = inst.Distance(i, j)
+				}
+			}
+		}
+	}
+	return doc
+}

@@ -1,0 +1,141 @@
+// Package export renders experiment results and topologies for humans
+// and downstream tools: aligned text tables and CSV for the harness
+// output, DOT and SVG for topology figures, and an ASCII sketch of 1-D
+// line instances matching the paper's Figure 1.
+package export
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a rectangular result table with a title and column headers.
+// Cells are strings; use Num/Int helpers for consistent formatting.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row (len must match Headers; enforced at render).
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Num formats a float with adaptive precision for table cells.
+func Num(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "NaN"
+	case v >= 1e15 || v <= -1e15:
+		return fmt.Sprintf("%.3e", v)
+	case v == float64(int64(v)) && v < 1e9 && v > -1e9:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}
+
+// Int formats an int for table cells.
+func Int(v int) string { return strconv.Itoa(v) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return fmt.Errorf("export: row has %d cells, want %d", len(row), len(t.Headers))
+		}
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if n := len([]rune(s)); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
+}
+
+// Text renders the table to a string (convenience).
+func (t *Table) Text() string {
+	var sb strings.Builder
+	// strings.Builder writes never fail.
+	_ = t.WriteText(&sb)
+	return sb.String()
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return fmt.Errorf("export: row has %d cells, want %d", len(row), len(t.Headers))
+		}
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+)
+
+// WriteDOT renders the profile as a Graphviz digraph. When the space is
+// Positioned (2-D), node positions are pinned for neato-style layout.
+func WriteDOT(w io.Writer, p core.Profile, space metric.Space, name string) error {
+	if name == "" {
+		name = "topology"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	pos, _ := space.(metric.Positioned)
+	for i := 0; i < p.N(); i++ {
+		if pos != nil && len(pos.Position(i)) >= 2 {
+			xy := pos.Position(i)
+			if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\", pos=\"%.4f,%.4f!\"];\n", i, i, xy[0], xy[1]); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "  n%d [label=\"%d\"];\n", i, i); err != nil {
+			return err
+		}
+	}
+	for _, l := range p.Links() {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", l[0], l[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteSVG renders a 2-D positioned topology as a standalone SVG image:
+// peers as circles, links as arrows. The viewport is fitted to the point
+// set with a margin.
+func WriteSVG(w io.Writer, p core.Profile, space metric.Positioned, width, height int) error {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 500
+	}
+	n := p.N()
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		xy := space.Position(i)
+		x, y := xy[0], 0.0
+		if len(xy) > 1 {
+			y = xy[1]
+		}
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	const margin = 40.0
+	sx := (float64(width) - 2*margin) / spanX
+	sy := (float64(height) - 2*margin) / spanY
+	px := func(i int) (float64, float64) {
+		xy := space.Position(i)
+		x, y := xy[0], 0.0
+		if len(xy) > 1 {
+			y = xy[1]
+		}
+		// SVG y grows downward; flip for conventional orientation.
+		return margin + (x-minX)*sx, float64(height) - margin - (y-minY)*sy
+	}
+
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, `<defs><marker id="arrow" markerWidth="8" markerHeight="8" refX="7" refY="3" orient="auto"><path d="M0,0 L7,3 L0,6 z" fill="#555"/></marker></defs>`); err != nil {
+		return err
+	}
+	for _, l := range p.Links() {
+		x1, y1 := px(l[0])
+		x2, y2 := px(l[1])
+		// Trim the arrow to the node circle boundary.
+		dx, dy := x2-x1, y2-y1
+		d := math.Hypot(dx, dy)
+		if d == 0 {
+			continue
+		}
+		const r = 10.0
+		x2t, y2t := x2-dx/d*r, y2-dy/d*r
+		if _, err := fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#555" stroke-width="1.2" marker-end="url(#arrow)"/>`+"\n",
+			x1, y1, x2t, y2t); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		x, y := px(i)
+		if _, err := fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="8" fill="#4a90d9" stroke="#1a4a7a"/>`+"\n", x, y); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" dy="3" fill="white">%d</text>`+"\n", x, y, i); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// ASCIILine sketches a 1-D instance in the style of the paper's
+// Figure 1: peers in position order with their directed links drawn as
+// labeled arcs underneath. Positions are shown in log scale when the
+// spread is large (as on the exponential line).
+func ASCIILine(p core.Profile, space metric.Positioned) string {
+	n := p.N()
+	var sb strings.Builder
+	sb.WriteString("peers (left to right by position):\n  ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d", i)
+		if i+1 < n {
+			sb.WriteString(" --- ")
+		}
+	}
+	sb.WriteString("\npositions:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  %d: %.4g\n", i, space.Position(i)[0])
+	}
+	sb.WriteString("links:\n")
+	for _, l := range p.Links() {
+		dir := "→"
+		if l[1] < l[0] {
+			dir = "←"
+		}
+		fmt.Fprintf(&sb, "  %d %s %d\n", l[0], dir, l[1])
+	}
+	return sb.String()
+}

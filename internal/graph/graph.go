@@ -1,0 +1,469 @@
+// Package graph implements the directed weighted graphs and shortest-path
+// machinery underlying the topology game. Overlay topologies G[s] are
+// directed (a peer stores pointers to its neighbors), and a peer's cost
+// depends on shortest-path distances from it to every other peer, so the
+// hot operation is single-source shortest paths over an implicit
+// adjacency structure.
+//
+// Algorithms are chosen for the regimes the experiments hit: a dense
+// O(n²) Dijkstra for the small complete-ish graphs of exact equilibrium
+// checking, a binary-heap Dijkstra for larger sparse topologies,
+// Floyd–Warshall for all-pairs validation, Tarjan's SCC for connectivity
+// structure, and Prim's MST over metric spaces for baseline overlays.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Adjacency is the minimal view of a directed weighted graph needed by
+// the traversal algorithms. Implementations include *Digraph and the
+// game's profile-backed adapters, which avoids materializing a graph for
+// every candidate strategy during equilibrium checks.
+type Adjacency interface {
+	// N returns the number of vertices, indexed 0..N-1.
+	N() int
+	// VisitArcs calls visit for every arc leaving from, with its weight.
+	VisitArcs(from int, visit func(to int, weight float64))
+}
+
+// Digraph is a mutable directed graph with non-negative arc weights.
+type Digraph struct {
+	n   int
+	adj []map[int]float64
+}
+
+var _ Adjacency = (*Digraph)(nil)
+
+// NewDigraph creates a graph with n vertices and no arcs.
+func NewDigraph(n int) (*Digraph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: invalid vertex count %d", n)
+	}
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = make(map[int]float64)
+	}
+	return &Digraph{n: n, adj: adj}, nil
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// AddArc inserts (or overwrites) the arc from→to with the given weight.
+func (g *Digraph) AddArc(from, to int, weight float64) error {
+	if err := g.check(from, to); err != nil {
+		return err
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		return fmt.Errorf("graph: invalid weight %v on arc %d→%d", weight, from, to)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop on vertex %d", from)
+	}
+	g.adj[from][to] = weight
+	return nil
+}
+
+// AddEdge inserts both arcs between a and b (an undirected edge).
+func (g *Digraph) AddEdge(a, b int, weight float64) error {
+	if err := g.AddArc(a, b, weight); err != nil {
+		return err
+	}
+	return g.AddArc(b, a, weight)
+}
+
+// RemoveArc deletes the arc from→to if present.
+func (g *Digraph) RemoveArc(from, to int) error {
+	if err := g.check(from, to); err != nil {
+		return err
+	}
+	delete(g.adj[from], to)
+	return nil
+}
+
+// HasArc reports whether the arc from→to exists.
+func (g *Digraph) HasArc(from, to int) bool {
+	if from < 0 || from >= g.n {
+		return false
+	}
+	_, ok := g.adj[from][to]
+	return ok
+}
+
+// Weight returns the weight of arc from→to and whether it exists.
+func (g *Digraph) Weight(from, to int) (float64, bool) {
+	if from < 0 || from >= g.n {
+		return 0, false
+	}
+	w, ok := g.adj[from][to]
+	return w, ok
+}
+
+// OutDegree returns the number of arcs leaving v.
+func (g *Digraph) OutDegree(v int) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// ArcCount returns the total number of directed arcs.
+func (g *Digraph) ArcCount() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total
+}
+
+// VisitArcs implements Adjacency.
+func (g *Digraph) VisitArcs(from int, visit func(to int, weight float64)) {
+	for to, w := range g.adj[from] {
+		visit(to, w)
+	}
+}
+
+func (g *Digraph) check(from, to int) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("graph: vertex out of range (%d, %d) with n=%d", from, to, g.n)
+	}
+	return nil
+}
+
+// Dijkstra computes shortest-path distances from src to every vertex.
+// Unreachable vertices get +Inf. It dispatches to a dense O(n²) scan for
+// small graphs (where it beats the heap) and a binary heap otherwise.
+func Dijkstra(g Adjacency, src int) ([]float64, error) {
+	n := g.N()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", src, n)
+	}
+	if n <= 128 {
+		return dijkstraDense(g, src), nil
+	}
+	return dijkstraHeap(g, src), nil
+}
+
+// dijkstraDense is the O(n²) selection variant, fastest for small n.
+func dijkstraDense(g Adjacency, src int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		g.VisitArcs(u, func(to int, w float64) {
+			if d := best + w; d < dist[to] {
+				dist[to] = d
+			}
+		})
+	}
+	return dist
+}
+
+// pqItem is a (vertex, distance) pair in the binary heap.
+type pqItem struct {
+	v int
+	d float64
+}
+
+// dijkstraHeap is the standard lazy-deletion binary-heap variant.
+func dijkstraHeap(g Adjacency, src int) []float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	heap := make([]pqItem, 0, n)
+	push := func(it pqItem) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() pqItem {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < last && heap[l].d < heap[smallest].d {
+				smallest = l
+			}
+			if r < last && heap[r].d < heap[smallest].d {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+	push(pqItem{src, 0})
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		g.VisitArcs(it.v, func(to int, w float64) {
+			if d := it.d + w; d < dist[to] {
+				dist[to] = d
+				push(pqItem{to, d})
+			}
+		})
+	}
+	return dist
+}
+
+// FloydWarshall computes all-pairs shortest paths. Unreachable pairs get
+// +Inf. O(n³); used for validation and tiny instances.
+func FloydWarshall(g Adjacency) [][]float64 {
+	n := g.N()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		g.VisitArcs(u, func(to int, w float64) {
+			if w < dist[u][to] {
+				dist[u][to] = w
+			}
+		})
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := dik + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// BFSHops returns the hop counts (unit-weight distances) from src;
+// unreachable vertices get -1.
+func BFSHops(g Adjacency, src int) ([]int, error) {
+	n := g.N()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("graph: source %d out of range [0,%d)", src, n)
+	}
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.VisitArcs(u, func(to int, _ float64) {
+			if hops[to] == -1 {
+				hops[to] = hops[u] + 1
+				queue = append(queue, to)
+			}
+		})
+	}
+	return hops, nil
+}
+
+// StronglyConnected reports whether every vertex can reach every other.
+func StronglyConnected(g Adjacency) bool {
+	comps := TarjanSCC(g)
+	return len(comps) == 1
+}
+
+// TarjanSCC returns the strongly connected components in reverse
+// topological order. Iterative implementation (no recursion) so deep
+// chains cannot overflow the stack.
+func TarjanSCC(g Adjacency) [][]int {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		arcs []int // out-neighbors, gathered once
+		next int   // next arc index to process
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		var callStack []frame
+		pushVertex := func(v int) {
+			index[v] = counter
+			low[v] = counter
+			counter++
+			stack = append(stack, v)
+			onStack[v] = true
+			var arcs []int
+			g.VisitArcs(v, func(to int, _ float64) { arcs = append(arcs, to) })
+			callStack = append(callStack, frame{v: v, arcs: arcs})
+		}
+		pushVertex(start)
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.next < len(f.arcs) {
+				w := f.arcs[f.next]
+				f.next++
+				if index[w] == unvisited {
+					pushVertex(w)
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order: pop the frame.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Diameter returns the largest finite shortest-path distance, and whether
+// the graph is strongly connected (if not, the diameter ignores
+// unreachable pairs; a graph with no reachable pairs has diameter 0).
+func Diameter(g Adjacency) (float64, bool) {
+	n := g.N()
+	maxD := 0.0
+	connected := true
+	for i := 0; i < n; i++ {
+		dist, err := Dijkstra(g, i)
+		if err != nil {
+			return 0, false
+		}
+		for j, d := range dist {
+			if i == j {
+				continue
+			}
+			if math.IsInf(d, 1) {
+				connected = false
+				continue
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD, connected
+}
+
+// MetricLike exposes the distances needed to build spanning structures
+// over a metric space without importing the metric package (kept
+// dependency-free so graph stays a leaf substrate).
+type MetricLike interface {
+	N() int
+	Distance(i, j int) float64
+}
+
+// PrimMST returns the edges of a minimum spanning tree of the complete
+// graph over the given metric, as (a, b) pairs. O(n²).
+func PrimMST(m MetricLike) ([][2]int, error) {
+	n := m.N()
+	if n == 0 {
+		return nil, errors.New("graph: empty metric")
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	parent := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	best[0] = 0
+	edges := make([][2]int, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		u, bd := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && best[v] < bd {
+				u, bd = v, best[v]
+			}
+		}
+		if u == -1 {
+			return nil, errors.New("graph: disconnected metric (unreachable point)")
+		}
+		inTree[u] = true
+		if parent[u] >= 0 {
+			edges = append(edges, [2]int{parent[u], u})
+		}
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := m.Distance(u, v); d < best[v] {
+					best[v] = d
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return edges, nil
+}

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"selfishnet/internal/rng"
+)
+
+func mustDigraph(t *testing.T, n int) *Digraph {
+	t.Helper()
+	g, err := NewDigraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustArc(t *testing.T, g *Digraph, from, to int, w float64) {
+	t.Helper()
+	if err := g.AddArc(from, to, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigraphBasics(t *testing.T) {
+	g := mustDigraph(t, 3)
+	mustArc(t, g, 0, 1, 2.5)
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Fatal("arc direction wrong")
+	}
+	w, ok := g.Weight(0, 1)
+	if !ok || w != 2.5 {
+		t.Fatalf("Weight = %f, %v", w, ok)
+	}
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 0 {
+		t.Fatal("out-degrees wrong")
+	}
+	if g.ArcCount() != 1 {
+		t.Fatalf("ArcCount = %d", g.ArcCount())
+	}
+	if err := g.RemoveArc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasArc(0, 1) {
+		t.Fatal("arc not removed")
+	}
+}
+
+func TestDigraphValidation(t *testing.T) {
+	if _, err := NewDigraph(0); err == nil {
+		t.Error("n=0 should error")
+	}
+	g := mustDigraph(t, 2)
+	if err := g.AddArc(0, 5, 1); err == nil {
+		t.Error("out-of-range arc should error")
+	}
+	if err := g.AddArc(0, 0, 1); err == nil {
+		t.Error("self-loop should error")
+	}
+	if err := g.AddArc(0, 1, -1); err == nil {
+		t.Error("negative weight should error")
+	}
+	if err := g.AddArc(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight should error")
+	}
+	if g.HasArc(-1, 0) {
+		t.Error("HasArc out of range should be false")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := mustDigraph(t, 2)
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) {
+		t.Fatal("AddEdge should add both arcs")
+	}
+}
+
+func TestDijkstraLineGraph(t *testing.T) {
+	// 0 →1→ 1 →2→ 2 →3→ 3, plus shortcut 0→3 weight 10.
+	g := mustDigraph(t, 4)
+	mustArc(t, g, 0, 1, 1)
+	mustArc(t, g, 1, 2, 2)
+	mustArc(t, g, 2, 3, 3)
+	mustArc(t, g, 0, 3, 10)
+	dist, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 6}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %f, want %f", i, dist[i], w)
+		}
+	}
+	// Reverse direction is unreachable.
+	back, err := Dijkstra(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back[0], 1) {
+		t.Errorf("dist from 3 to 0 = %f, want +Inf", back[0])
+	}
+}
+
+func TestDijkstraSourceValidation(t *testing.T) {
+	g := mustDigraph(t, 2)
+	if _, err := Dijkstra(g, -1); err == nil {
+		t.Error("negative source should error")
+	}
+	if _, err := Dijkstra(g, 2); err == nil {
+		t.Error("out-of-range source should error")
+	}
+}
+
+// randomGraph builds a random digraph with the given size and arc
+// probability; weights are uniform in [0.1, 10).
+func randomGraph(r *rng.RNG, n int, p float64) *Digraph {
+	g, _ := NewDigraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.Bool(p) {
+				_ = g.AddArc(i, j, r.Range(0.1, 10))
+			}
+		}
+	}
+	return g
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(20)
+		g := randomGraph(r, n, 0.3)
+		fw := FloydWarshall(g)
+		for src := 0; src < n; src++ {
+			dist, err := Dijkstra(g, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < n; j++ {
+				dd, fd := dist[j], fw[src][j]
+				if math.IsInf(dd, 1) != math.IsInf(fd, 1) {
+					t.Fatalf("trial %d reachability mismatch at (%d,%d)", trial, src, j)
+				}
+				if !math.IsInf(dd, 1) && math.Abs(dd-fd) > 1e-9 {
+					t.Fatalf("trial %d: dijkstra %f vs fw %f at (%d,%d)", trial, dd, fd, src, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraHeapMatchesDense(t *testing.T) {
+	// Force both code paths on the same adjacency and compare.
+	r := rng.New(11)
+	n := 60
+	g := randomGraph(r, n, 0.1)
+	for src := 0; src < n; src += 7 {
+		dense := dijkstraDense(g, src)
+		heap := dijkstraHeap(g, src)
+		for j := range dense {
+			if math.IsInf(dense[j], 1) != math.IsInf(heap[j], 1) {
+				t.Fatalf("reachability mismatch at %d", j)
+			}
+			if !math.IsInf(dense[j], 1) && math.Abs(dense[j]-heap[j]) > 1e-9 {
+				t.Fatalf("dense %f vs heap %f at %d", dense[j], heap[j], j)
+			}
+		}
+	}
+}
+
+func TestLargeGraphUsesHeapPath(t *testing.T) {
+	// n > 128 exercises the heap branch through the public API.
+	g := mustDigraph(t, 200)
+	for i := 0; i < 199; i++ {
+		mustArc(t, g, i, i+1, 1)
+	}
+	dist, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[199] != 199 {
+		t.Errorf("dist[199] = %f, want 199", dist[199])
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g := mustDigraph(t, 5)
+	mustArc(t, g, 0, 1, 5)
+	mustArc(t, g, 1, 2, 5)
+	mustArc(t, g, 0, 3, 5)
+	hops, err := BFSHops(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1, -1}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Errorf("hops[%d] = %d, want %d", i, hops[i], w)
+		}
+	}
+	if _, err := BFSHops(g, 9); err == nil {
+		t.Error("bad source should error")
+	}
+}
+
+func TestTarjanSCC(t *testing.T) {
+	// Two 2-cycles joined by a one-way arc, plus an isolated vertex.
+	g := mustDigraph(t, 5)
+	mustArc(t, g, 0, 1, 1)
+	mustArc(t, g, 1, 0, 1)
+	mustArc(t, g, 1, 2, 1)
+	mustArc(t, g, 2, 3, 1)
+	mustArc(t, g, 3, 2, 1)
+	comps := TarjanSCC(g)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	sizes := make([]int, len(comps))
+	for i, c := range comps {
+		sizes[i] = len(c)
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Fatalf("component sizes = %v", sizes)
+	}
+	if StronglyConnected(g) {
+		t.Error("graph is not strongly connected")
+	}
+}
+
+func TestStronglyConnectedCycle(t *testing.T) {
+	g := mustDigraph(t, 6)
+	for i := 0; i < 6; i++ {
+		mustArc(t, g, i, (i+1)%6, 1)
+	}
+	if !StronglyConnected(g) {
+		t.Error("directed cycle must be strongly connected")
+	}
+}
+
+func TestTarjanDeepChainNoOverflow(t *testing.T) {
+	// A long path: would overflow a recursive implementation at ~1e5.
+	n := 200_000
+	g, err := NewDigraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddArc(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := TarjanSCC(g)
+	if len(comps) != n {
+		t.Fatalf("got %d components, want %d", len(comps), n)
+	}
+}
+
+func TestQuickSCCPartition(t *testing.T) {
+	// Property: SCCs partition the vertex set.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(15)
+		g := randomGraph(r, n, 0.25)
+		comps := TarjanSCC(g)
+		seen := make([]bool, n)
+		total := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSCCMutualReachability(t *testing.T) {
+	// Property: vertices share a component iff mutually reachable.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		g := randomGraph(r, n, 0.3)
+		comps := TarjanSCC(g)
+		compOf := make([]int, n)
+		for ci, c := range comps {
+			for _, v := range c {
+				compOf[v] = ci
+			}
+		}
+		fw := FloydWarshall(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mutual := !math.IsInf(fw[i][j], 1) && !math.IsInf(fw[j][i], 1)
+				if mutual != (compOf[i] == compOf[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := mustDigraph(t, 3)
+	mustArc(t, g, 0, 1, 1)
+	mustArc(t, g, 1, 2, 2)
+	mustArc(t, g, 2, 0, 4)
+	d, connected := Diameter(g)
+	if !connected {
+		t.Fatal("cycle should be connected")
+	}
+	if d != 6 {
+		t.Errorf("diameter = %f, want 6 (2→1 path)", d)
+	}
+	_ = g.RemoveArc(2, 0)
+	_, connected = Diameter(g)
+	if connected {
+		t.Error("after removing arc, graph should not be connected")
+	}
+}
+
+// lineMetric is a trivial MetricLike for MST tests.
+type lineMetric struct{ pos []float64 }
+
+func (m lineMetric) N() int { return len(m.pos) }
+func (m lineMetric) Distance(i, j int) float64 {
+	return math.Abs(m.pos[i] - m.pos[j])
+}
+
+func TestPrimMSTOnLine(t *testing.T) {
+	m := lineMetric{pos: []float64{0, 10, 1, 11, 2}}
+	edges, err := PrimMST(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 4 {
+		t.Fatalf("MST edge count = %d, want 4", len(edges))
+	}
+	total := 0.0
+	for _, e := range edges {
+		total += m.Distance(e[0], e[1])
+	}
+	// Optimal tree connects 0-2-4 (cost 1+1) and 1-3 (cost 1) and the two
+	// groups via 4-1 (cost 8): total 11.
+	if math.Abs(total-11) > 1e-12 {
+		t.Errorf("MST weight = %f, want 11", total)
+	}
+}
+
+func TestPrimMSTEmpty(t *testing.T) {
+	if _, err := PrimMST(lineMetric{}); err == nil {
+		t.Error("empty metric should error")
+	}
+}

@@ -1,0 +1,168 @@
+package metric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfishnet/internal/rng"
+)
+
+// UniformPoints returns n points drawn uniformly from the dim-dimensional
+// unit cube. Coinciding points are re-drawn (vanishingly unlikely), so the
+// result is always a valid metric.
+func UniformPoints(r *rng.RNG, n, dim int) (*Points, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("metric: invalid uniform generator args n=%d dim=%d", n, dim)
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, dim)
+			for k := range p {
+				p[k] = r.Float64()
+			}
+			pts[i] = p
+		}
+		s, err := NewPoints(pts)
+		if err == nil {
+			return s, nil
+		}
+	}
+	return nil, errors.New("metric: could not draw distinct uniform points")
+}
+
+// ClusterSpec positions a cluster of Count points around Center, spaced
+// equidistantly on a short segment of total length Diameter (the paper's
+// "peers located equidistantly on a line" within each cluster).
+type ClusterSpec struct {
+	Center   []float64
+	Count    int
+	Diameter float64
+}
+
+// Clustered lays out the given clusters in a shared Euclidean space. The
+// points of cluster c occupy indices [offset_c, offset_c + Count).
+func Clustered(specs []ClusterSpec) (*Points, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("metric: no clusters")
+	}
+	dim := len(specs[0].Center)
+	var pts [][]float64
+	for ci, spec := range specs {
+		if len(spec.Center) != dim {
+			return nil, fmt.Errorf("metric: cluster %d dimension mismatch", ci)
+		}
+		if spec.Count <= 0 {
+			return nil, fmt.Errorf("metric: cluster %d has count %d", ci, spec.Count)
+		}
+		if spec.Diameter < 0 {
+			return nil, fmt.Errorf("metric: cluster %d has negative diameter", ci)
+		}
+		for k := 0; k < spec.Count; k++ {
+			p := append([]float64(nil), spec.Center...)
+			if spec.Count > 1 {
+				// Spread along the first axis, centered on the center.
+				frac := float64(k)/float64(spec.Count-1) - 0.5
+				p[0] += frac * spec.Diameter
+			}
+			pts = append(pts, p)
+		}
+	}
+	return NewPoints(pts)
+}
+
+// ExponentialLine builds the 1-D instance of the paper's Figure 1: peer
+// i (1-based in the paper) sits at position α^{i-1}/2 if i is odd and at
+// α^{i-1} if i is even. Our peers are 0-based: peer index p corresponds
+// to the paper's i = p+1.
+//
+// Distances grow exponentially to the right, which is what makes the
+// selfishly stable topology socially terrible (Θ(αn²) social cost).
+func ExponentialLine(n int, alpha float64) (*Points, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("metric: exponential line needs n ≥ 2, got %d", n)
+	}
+	if alpha <= 2 {
+		// Positions must strictly increase: peer i+1 at α^i/2 must lie
+		// right of peer i at α^(i-1), which needs α > 2 (at α = 2 the
+		// points coincide). The paper's regime is α ≥ 3.4 anyway.
+		return nil, fmt.Errorf("metric: exponential line needs α > 2, got %v", alpha)
+	}
+	pos := make([]float64, n)
+	for p := 0; p < n; p++ {
+		i := p + 1 // paper's 1-based peer number
+		x := math.Pow(alpha, float64(i-1))
+		if i%2 == 1 {
+			x /= 2
+		}
+		if math.IsInf(x, 0) {
+			return nil, fmt.Errorf("metric: exponential line overflows float64 at peer %d (α=%v): use smaller n or α", i, alpha)
+		}
+		pos[p] = x
+	}
+	return Line(pos)
+}
+
+// Ring places n points evenly on a circle of the given radius in the
+// plane. Ring metrics are a classic growth-bounded family.
+func Ring(n int, radius float64) (*Points, error) {
+	if n < 2 || radius <= 0 {
+		return nil, fmt.Errorf("metric: invalid ring n=%d radius=%v", n, radius)
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = []float64{radius * math.Cos(theta), radius * math.Sin(theta)}
+	}
+	return NewPoints(pts)
+}
+
+// Grid places rows×cols points on the integer grid with the given cell
+// spacing — a standard 2-dimensional growth-bounded metric.
+func Grid(rows, cols int, spacing float64) (*Points, error) {
+	if rows <= 0 || cols <= 0 || spacing <= 0 {
+		return nil, fmt.Errorf("metric: invalid grid %dx%d spacing %v", rows, cols, spacing)
+	}
+	if rows*cols < 2 {
+		return nil, errors.New("metric: grid needs at least 2 points")
+	}
+	pts := make([][]float64, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, []float64{float64(c) * spacing, float64(r) * spacing})
+		}
+	}
+	return NewPoints(pts)
+}
+
+// ClusteredRandom draws clusters of points around k random centers in the
+// unit square — a heavy-tailed, locality-rich workload resembling peers
+// concentrated in ISPs or regions.
+func ClusteredRandom(r *rng.RNG, n, k int, clusterRadius float64) (*Points, error) {
+	if n <= 0 || k <= 0 || k > n {
+		return nil, fmt.Errorf("metric: invalid clustered-random args n=%d k=%d", n, k)
+	}
+	if clusterRadius <= 0 {
+		return nil, fmt.Errorf("metric: cluster radius %v must be positive", clusterRadius)
+	}
+	centers := make([][2]float64, k)
+	for i := range centers {
+		centers[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		pts := make([][]float64, n)
+		for i := range pts {
+			c := centers[r.Intn(k)]
+			pts[i] = []float64{
+				c[0] + clusterRadius*r.Norm(),
+				c[1] + clusterRadius*r.Norm(),
+			}
+		}
+		s, err := NewPoints(pts)
+		if err == nil {
+			return s, nil
+		}
+	}
+	return nil, errors.New("metric: could not draw distinct clustered points")
+}

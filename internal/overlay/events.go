@@ -1,0 +1,60 @@
+// Package overlay is a discrete-event simulator for unstructured P2P
+// overlays. It grounds the game-theoretic quantities of the topology
+// game in system terms: a peer's stretch shows up as lookup latency, its
+// degree as periodic maintenance (ping) traffic — exactly the trade-off
+// the paper's cost function c_i = α|s_i| + Σ stretch captures. Churn
+// support lets experiments contrast the paper's static setting ("no
+// churn") with a dynamic one.
+package overlay
+
+import (
+	"container/heap"
+)
+
+// eventKind enumerates simulator events.
+type eventKind int
+
+const (
+	evLookup eventKind = iota + 1
+	evPing
+	evChurn
+	evRepair
+)
+
+// event is a scheduled simulator event.
+type event struct {
+	at   float64
+	kind eventKind
+	peer int
+	seq  uint64 // tie-breaker for deterministic ordering
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// schedule pushes a new event.
+func (s *Sim) schedule(at float64, kind eventKind, peer int) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, kind: kind, peer: peer, seq: s.seq})
+}

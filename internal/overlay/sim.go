@@ -1,0 +1,362 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/core"
+	"selfishnet/internal/rng"
+	"selfishnet/internal/stats"
+)
+
+// RepairStrategy says how a peer rebuilds its neighbor set after churn
+// invalidates it.
+type RepairStrategy int
+
+// Repair strategies.
+const (
+	// RepairNone leaves dead links in place (they are simply unusable).
+	RepairNone RepairStrategy = iota + 1
+	// RepairSelfish replays the game: the affected peer computes a
+	// best response (local search) against the current alive topology.
+	RepairSelfish
+	// RepairNearest relinks to the nearest alive peers, a simple
+	// protocol-driven structured repair.
+	RepairNearest
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Instance supplies the metric, α and cost model. Lookup latency is
+	// measured over the overlay with metric arc weights.
+	Instance *core.Instance
+	// Topology is the starting overlay (e.g. an equilibrium from the
+	// game, or a structured construction).
+	Topology core.Profile
+	// Duration is the simulated time horizon (seconds).
+	Duration float64
+	// LookupRate is each peer's lookup arrival rate (lookups/second,
+	// exponential inter-arrival). Targets are Zipf-distributed.
+	LookupRate float64
+	// ZipfExponent skews lookup targets (0 = uniform).
+	ZipfExponent float64
+	// PingInterval is the per-link maintenance period (seconds); every
+	// interval each peer pings each neighbor once. Zero disables pings.
+	PingInterval float64
+	// ChurnRate is each peer's toggle rate (events/second, exponential):
+	// an online peer goes offline and vice versa. Zero disables churn.
+	ChurnRate float64
+	// Repair selects the repair strategy (default RepairNone).
+	Repair RepairStrategy
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Metrics aggregates the observable outcomes of a run.
+type Metrics struct {
+	// Lookups counts issued lookups; Failed counts lookups whose target
+	// was offline or unreachable.
+	Lookups int
+	Failed  int
+	// Latency aggregates successful lookup latencies (overlay route
+	// length in metric units).
+	Latency stats.Stream
+	// Stretch aggregates successful lookups' latency / direct distance.
+	Stretch stats.Stream
+	// PingMessages counts maintenance pings sent.
+	PingMessages int
+	// ChurnEvents counts join/leave transitions.
+	ChurnEvents int
+	// Repairs counts repair actions taken.
+	Repairs int
+	// FinalAlive is the number of online peers at the end.
+	FinalAlive int
+}
+
+// Sim is a discrete-event overlay simulator. Create with New, run with
+// Run.
+type Sim struct {
+	cfg   Config
+	ev    *core.Evaluator
+	prof  core.Profile
+	alive []bool
+	r     *rng.RNG
+	zipf  *rng.Zipf
+
+	queue eventQueue
+	seq   uint64
+	now   float64
+
+	// aliveCache memoizes aliveProfile between topology/liveness
+	// changes (lookups dominate event counts).
+	aliveCache *core.Profile
+
+	metrics Metrics
+}
+
+// New validates the configuration and prepares a simulator.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Instance == nil {
+		return nil, errors.New("overlay: nil instance")
+	}
+	n := cfg.Instance.N()
+	if cfg.Topology.N() != n {
+		return nil, fmt.Errorf("overlay: topology has %d peers, instance has %d", cfg.Topology.N(), n)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("overlay: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.LookupRate < 0 || cfg.ChurnRate < 0 || cfg.PingInterval < 0 {
+		return nil, errors.New("overlay: negative rates are invalid")
+	}
+	if cfg.Repair == 0 {
+		cfg.Repair = RepairNone
+	}
+	s := &Sim{
+		cfg:   cfg,
+		ev:    core.NewEvaluator(cfg.Instance),
+		prof:  cfg.Topology.Clone(),
+		alive: make([]bool, n),
+		r:     rng.New(cfg.Seed),
+		zipf:  rng.NewZipf(n, cfg.ZipfExponent),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	return s, nil
+}
+
+// aliveProfile returns the overlay restricted to online peers: links
+// from or to offline peers are unusable. The result is cached until the
+// next churn or repair event and must not be mutated.
+func (s *Sim) aliveProfile() core.Profile {
+	if s.aliveCache != nil {
+		return *s.aliveCache
+	}
+	p := s.buildAliveProfile()
+	s.aliveCache = &p
+	return p
+}
+
+func (s *Sim) buildAliveProfile() core.Profile {
+	p := s.prof.Clone()
+	n := s.cfg.Instance.N()
+	for i := 0; i < n; i++ {
+		if !s.alive[i] {
+			if err := p.SetStrategy(i, core.Strategy{}); err != nil {
+				// Unreachable: empty strategies are always valid.
+				panic(fmt.Sprintf("overlay: internal error clearing strategy: %v", err))
+			}
+			continue
+		}
+		st := p.Strategy(i).Clone()
+		changed := false
+		st.ForEach(func(j int) bool {
+			if !s.alive[j] {
+				changed = true
+			}
+			return true
+		})
+		if changed {
+			st2 := st.Clone()
+			st.ForEach(func(j int) bool {
+				if !s.alive[j] {
+					st2.Remove(j)
+				}
+				return true
+			})
+			if err := p.SetStrategy(i, st2); err != nil {
+				panic(fmt.Sprintf("overlay: internal error pruning strategy: %v", err))
+			}
+		}
+	}
+	return p
+}
+
+// Run executes the simulation to the configured horizon and returns the
+// collected metrics.
+func (s *Sim) Run() (Metrics, error) {
+	n := s.cfg.Instance.N()
+	// Seed initial events.
+	if s.cfg.LookupRate > 0 {
+		for i := 0; i < n; i++ {
+			s.schedule(s.r.Exp(s.cfg.LookupRate), evLookup, i)
+		}
+	}
+	if s.cfg.PingInterval > 0 {
+		for i := 0; i < n; i++ {
+			s.schedule(s.cfg.PingInterval, evPing, i)
+		}
+	}
+	if s.cfg.ChurnRate > 0 {
+		for i := 0; i < n; i++ {
+			s.schedule(s.r.Exp(s.cfg.ChurnRate), evChurn, i)
+		}
+	}
+
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.at > s.cfg.Duration {
+			break
+		}
+		s.popEvent()
+		s.now = e.at
+		switch e.kind {
+		case evLookup:
+			s.handleLookup(e.peer)
+			s.schedule(s.now+s.r.Exp(s.cfg.LookupRate), evLookup, e.peer)
+		case evPing:
+			s.handlePing(e.peer)
+			s.schedule(s.now+s.cfg.PingInterval, evPing, e.peer)
+		case evChurn:
+			if err := s.handleChurn(e.peer); err != nil {
+				return Metrics{}, err
+			}
+			s.schedule(s.now+s.r.Exp(s.cfg.ChurnRate), evChurn, e.peer)
+		case evRepair:
+			if err := s.handleRepair(e.peer); err != nil {
+				return Metrics{}, err
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.alive[i] {
+			s.metrics.FinalAlive++
+		}
+	}
+	return s.metrics, nil
+}
+
+func (s *Sim) popEvent() {
+	// heap.Pop via the package-level helper on the embedded queue.
+	q := &s.queue
+	last := q.Len() - 1
+	(*q)[0], (*q)[last] = (*q)[last], (*q)[0]
+	*q = (*q)[:last]
+	if q.Len() > 0 {
+		siftDown(*q, 0)
+	}
+}
+
+// siftDown restores the heap property from index i.
+func siftDown(q eventQueue, i int) {
+	n := q.Len()
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.Swap(i, smallest)
+		i = smallest
+	}
+}
+
+// handleLookup routes one lookup from the peer to a Zipf-chosen target.
+func (s *Sim) handleLookup(src int) {
+	if !s.alive[src] {
+		return
+	}
+	target := s.zipf.Sample(s.r)
+	if target == src {
+		return
+	}
+	s.metrics.Lookups++
+	if !s.alive[target] {
+		s.metrics.Failed++
+		return
+	}
+	alive := s.aliveProfile()
+	d, err := s.ev.Distances(alive, src)
+	if err != nil || math.IsInf(d[target], 1) {
+		s.metrics.Failed++
+		return
+	}
+	s.metrics.Latency.Add(d[target])
+	s.metrics.Stretch.Add(d[target] / s.cfg.Instance.Distance(src, target))
+}
+
+// handlePing counts one maintenance round for the peer: one ping per
+// stored neighbor (alive or not; discovering death is the point).
+func (s *Sim) handlePing(peer int) {
+	if !s.alive[peer] {
+		return
+	}
+	s.metrics.PingMessages += s.prof.OutDegree(peer)
+}
+
+// handleChurn toggles the peer and, when repair is enabled, schedules a
+// repair for affected peers.
+func (s *Sim) handleChurn(peer int) error {
+	s.alive[peer] = !s.alive[peer]
+	s.aliveCache = nil
+	s.metrics.ChurnEvents++
+	if s.cfg.Repair == RepairNone {
+		return nil
+	}
+	if s.alive[peer] {
+		// Rejoined: the peer itself repairs (it kept stale links).
+		s.schedule(s.now, evRepair, peer)
+		return nil
+	}
+	// Left: peers pointing at it repair.
+	n := s.cfg.Instance.N()
+	for i := 0; i < n; i++ {
+		if i != peer && s.alive[i] && s.prof.HasLink(i, peer) {
+			s.schedule(s.now, evRepair, i)
+		}
+	}
+	return nil
+}
+
+// handleRepair rebuilds the peer's strategy per the configured policy.
+func (s *Sim) handleRepair(peer int) error {
+	if !s.alive[peer] {
+		return nil
+	}
+	s.metrics.Repairs++
+	alive := s.aliveProfile()
+	s.aliveCache = nil // the strategy updates below stale the cache
+	switch s.cfg.Repair {
+	case RepairSelfish:
+		res, err := (&bestresponse.LocalSearch{}).BestResponse(s.ev, alive, peer)
+		if err != nil {
+			return err
+		}
+		return s.prof.SetStrategy(peer, res.Strategy)
+	case RepairNearest:
+		// Link to the two nearest alive peers (chain-like repair).
+		st := core.Strategy{}
+		type cand struct {
+			j int
+			d float64
+		}
+		var cands []cand
+		for j := 0; j < s.cfg.Instance.N(); j++ {
+			if j != peer && s.alive[j] {
+				cands = append(cands, cand{j, s.cfg.Instance.Distance(peer, j)})
+			}
+		}
+		for picked := 0; picked < 2 && picked < len(cands); picked++ {
+			best := -1
+			for ci, c := range cands {
+				if !st.Contains(c.j) && (best == -1 || c.d < cands[best].d) {
+					best = ci
+				}
+			}
+			st.Add(cands[best].j)
+			cands[best].d = math.Inf(1)
+		}
+		return s.prof.SetStrategy(peer, st)
+	default:
+		return nil
+	}
+}

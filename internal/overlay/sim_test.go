@@ -1,0 +1,272 @@
+package overlay
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/opt"
+	"selfishnet/internal/rng"
+)
+
+func testInstance(t *testing.T, n int, alpha float64) *core.Instance {
+	t.Helper()
+	space, err := metric.UniformPoints(rng.New(7), n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestNewValidation(t *testing.T) {
+	inst := testInstance(t, 5, 1)
+	if _, err := New(Config{Topology: opt.FullMesh(5), Duration: 1}); err == nil {
+		t.Error("nil instance should error")
+	}
+	if _, err := New(Config{Instance: inst, Topology: opt.FullMesh(4), Duration: 1}); err == nil {
+		t.Error("size mismatch should error")
+	}
+	if _, err := New(Config{Instance: inst, Topology: opt.FullMesh(5), Duration: 0}); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, err := New(Config{Instance: inst, Topology: opt.FullMesh(5), Duration: 1, LookupRate: -1}); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	heap.Push(&q, event{at: 3, seq: 1})
+	heap.Push(&q, event{at: 1, seq: 2})
+	heap.Push(&q, event{at: 2, seq: 3})
+	heap.Push(&q, event{at: 1, seq: 1}) // same time, earlier seq wins
+	wantSeq := []uint64{1, 2, 3, 1}
+	wantAt := []float64{1, 1, 2, 3}
+	for i := range wantAt {
+		e := heap.Pop(&q).(event)
+		if e.at != wantAt[i] || e.seq != wantSeq[i] {
+			t.Fatalf("pop %d = %+v, want at=%f seq=%d", i, e, wantAt[i], wantSeq[i])
+		}
+	}
+}
+
+func TestLookupsOnFullMeshHaveStretchOne(t *testing.T) {
+	inst := testInstance(t, 8, 1)
+	sim, err := New(Config{
+		Instance:   inst,
+		Topology:   opt.FullMesh(8),
+		Duration:   50,
+		LookupRate: 1,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lookups == 0 {
+		t.Fatal("expected lookups")
+	}
+	if m.Failed != 0 {
+		t.Errorf("failed = %d, want 0 without churn", m.Failed)
+	}
+	if math.Abs(m.Stretch.Mean()-1) > 1e-9 {
+		t.Errorf("mean stretch = %f, want 1 on full mesh", m.Stretch.Mean())
+	}
+	if m.FinalAlive != 8 {
+		t.Errorf("FinalAlive = %d", m.FinalAlive)
+	}
+}
+
+func TestSparserTopologyHasHigherStretch(t *testing.T) {
+	inst := testInstance(t, 10, 1)
+	run := func(p core.Profile) Metrics {
+		sim, err := New(Config{
+			Instance: inst, Topology: p, Duration: 100, LookupRate: 1, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mesh := run(opt.FullMesh(10))
+	star, err := opt.Star(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starM := run(star)
+	if starM.Stretch.Mean() <= mesh.Stretch.Mean() {
+		t.Errorf("star stretch %f should exceed mesh stretch %f",
+			starM.Stretch.Mean(), mesh.Stretch.Mean())
+	}
+}
+
+func TestPingAccounting(t *testing.T) {
+	inst := testInstance(t, 4, 1)
+	// Star with center 0: 6 links total. Over 10s with interval 1,
+	// each peer pings its neighbors ~10 times.
+	star, err := opt.Star(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{
+		Instance:     inst,
+		Topology:     star,
+		Duration:     10,
+		PingInterval: 1,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 rounds × 6 links = 60 pings.
+	if m.PingMessages != 60 {
+		t.Errorf("PingMessages = %d, want 60", m.PingMessages)
+	}
+}
+
+func TestChurnCausesFailuresWithoutRepair(t *testing.T) {
+	inst := testInstance(t, 10, 1)
+	chain := opt.Chain(10) // fragile: one departure splits the line
+	sim, err := New(Config{
+		Instance:   inst,
+		Topology:   chain,
+		Duration:   200,
+		LookupRate: 1,
+		ChurnRate:  0.05,
+		Repair:     RepairNone,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ChurnEvents == 0 {
+		t.Fatal("expected churn events")
+	}
+	if m.Failed == 0 {
+		t.Error("expected some failed lookups on a chain under churn")
+	}
+	if m.Repairs != 0 {
+		t.Errorf("Repairs = %d, want 0 with RepairNone", m.Repairs)
+	}
+}
+
+func TestRepairReducesFailures(t *testing.T) {
+	inst := testInstance(t, 10, 1)
+	run := func(repair RepairStrategy) Metrics {
+		sim, err := New(Config{
+			Instance:   inst,
+			Topology:   opt.Chain(10),
+			Duration:   200,
+			LookupRate: 1,
+			ChurnRate:  0.05,
+			Repair:     repair,
+			Seed:       5, // same seed: identical churn pattern
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	none := run(RepairNone)
+	selfish := run(RepairSelfish)
+	nearest := run(RepairNearest)
+	if selfish.Repairs == 0 || nearest.Repairs == 0 {
+		t.Fatal("repair strategies should repair")
+	}
+	// Repairing must not make reachability failures worse. (Failures
+	// from offline targets are unavoidable and identical across runs.)
+	if selfish.Failed > none.Failed {
+		t.Errorf("selfish repair increased failures: %d > %d", selfish.Failed, none.Failed)
+	}
+	if nearest.Failed > none.Failed {
+		t.Errorf("nearest repair increased failures: %d > %d", nearest.Failed, none.Failed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	inst := testInstance(t, 8, 1)
+	run := func() Metrics {
+		sim, err := New(Config{
+			Instance:   inst,
+			Topology:   opt.Chain(8),
+			Duration:   100,
+			LookupRate: 1,
+			ChurnRate:  0.02,
+			Repair:     RepairNearest,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Lookups != b.Lookups || a.Failed != b.Failed ||
+		a.PingMessages != b.PingMessages || a.ChurnEvents != b.ChurnEvents ||
+		a.Repairs != b.Repairs || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestZipfSkewsTargets(t *testing.T) {
+	// With a strong Zipf exponent most lookups hit peer 0; on a star
+	// centered at 0 those are direct, so skewed traffic must see lower
+	// mean stretch than uniform traffic on the same topology.
+	inst := testInstance(t, 10, 1)
+	star, err := opt.Star(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(zipf float64) Metrics {
+		sim, err := New(Config{
+			Instance:     inst,
+			Topology:     star,
+			Duration:     200,
+			LookupRate:   1,
+			ZipfExponent: zipf,
+			Seed:         9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	skewed, uniform := run(3), run(0)
+	if skewed.Stretch.Mean() >= uniform.Stretch.Mean() {
+		t.Errorf("skewed stretch %f should be below uniform %f",
+			skewed.Stretch.Mean(), uniform.Stretch.Mean())
+	}
+}

@@ -1,0 +1,217 @@
+package selfishnet_test
+
+import (
+	"math"
+	"testing"
+
+	"selfishnet"
+)
+
+func TestFacadeGameLifecycle(t *testing.T) {
+	space, err := selfishnet.Line([]float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := selfishnet.RunDynamics(game, selfishnet.EmptyProfile(4), selfishnet.DynamicsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("dynamics should converge on a line")
+	}
+	ok, err := selfishnet.IsNash(game, res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("final profile should be Nash")
+	}
+	sc := selfishnet.SocialCost(game, res.Final)
+	if sc.Total() < selfishnet.OptimumLowerBound(game) {
+		t.Fatalf("social cost %f below the universal lower bound", sc.Total())
+	}
+	if ms := selfishnet.MaxStretch(game, res.Final); ms > game.Alpha()+1+1e-9 {
+		t.Fatalf("max stretch %f violates Theorem 4.1's α+1", ms)
+	}
+}
+
+func TestFacadeFigure1(t *testing.T) {
+	f, err := selfishnet.NewFigure1(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := selfishnet.IsNash(f.Instance, f.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Figure 1 should be Nash at α=4")
+	}
+	lower, upper, err := selfishnet.PoABounds(f.Instance, f.Profile, selfishnet.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower <= 1 || upper < lower {
+		t.Fatalf("PoA bounds wrong: lower=%f upper=%f", lower, upper)
+	}
+}
+
+func TestFacadeIkNeverStable(t *testing.T) {
+	ik, err := selfishnet.NewIk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := selfishnet.RunDynamics(ik.Instance, selfishnet.EmptyProfile(5), selfishnet.DynamicsConfig{
+		MaxSteps:     400,
+		DetectCycles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("I_1 dynamics must not converge (Theorem 5.1)")
+	}
+}
+
+func TestFacadeBestResponse(t *testing.T) {
+	space, err := selfishnet.Line([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, eval, err := selfishnet.BestResponse(game, selfishnet.EmptyProfile(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(1) {
+		t.Fatalf("best response %v should link to 1", s)
+	}
+	if math.Abs(eval.Key()-4) > 1e-9 {
+		t.Fatalf("cost = %f, want 4 (α + stretch 1)", eval.Key())
+	}
+}
+
+func TestFacadeEnumerateEquilibria(t *testing.T) {
+	space, err := selfishnet.Line([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, err := selfishnet.EnumerateEquilibria(game, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 1 {
+		t.Fatalf("n=2 has exactly one equilibrium, got %d", len(eqs))
+	}
+}
+
+func TestFacadeOverlaySim(t *testing.T) {
+	r := selfishnet.NewRNG(4)
+	space, err := selfishnet.UniformPeers(r, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := selfishnet.SimulateOverlay(selfishnet.OverlayConfig{
+		Instance:   game,
+		Topology:   selfishnet.FullMesh(8),
+		Duration:   20,
+		LookupRate: 1,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lookups == 0 || m.Failed != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestFacadeFabrikant(t *testing.T) {
+	game, err := selfishnet.NewFabrikantGame(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf-bought star is Nash in the hop game for α ≥ 1.
+	star := selfishnet.EmptyProfile(5)
+	for leaf := 1; leaf < 5; leaf++ {
+		if err := star.AddLink(leaf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := selfishnet.IsNash(game, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("star should be Nash in the Fabrikant game at α=2")
+	}
+}
+
+func TestFacadeCongestionAndAnalysis(t *testing.T) {
+	space, err := selfishnet.Line([]float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 1, selfishnet.WithCongestion(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := selfishnet.Chain(4)
+	st, err := selfishnet.AnalyzeTopology(game, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Links != 6 {
+		t.Errorf("Links = %d, want 6", st.Links)
+	}
+	// Congestion inflates all stretches above 1.
+	if st.Stretch.Min <= 1 {
+		t.Errorf("congested min stretch = %f, want > 1", st.Stretch.Min)
+	}
+	if st.UnreachablePairs != 0 {
+		t.Errorf("UnreachablePairs = %d", st.UnreachablePairs)
+	}
+}
+
+func TestFacadeStructuredOverlays(t *testing.T) {
+	r := selfishnet.NewRNG(5)
+	space, err := selfishnet.UniformPeers(r, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tulip, err := selfishnet.Tulip(game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := selfishnet.Star(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]selfishnet.Profile{
+		"mesh": selfishnet.FullMesh(9), "chain": selfishnet.Chain(9),
+		"tulip": tulip, "star": star,
+	} {
+		if ms := selfishnet.MaxStretch(game, p); math.IsInf(ms, 1) {
+			t.Errorf("%s overlay disconnected", name)
+		}
+	}
+}
