@@ -85,6 +85,37 @@ func BenchmarkSocialCost64(b *testing.B) {
 	}
 }
 
+func BenchmarkSocialCostPool64(b *testing.B) {
+	ev, p := randomSetup(b, 64, 4)
+	pool := core.NewPool(ev.Instance(), 0) // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pool.SocialCost(p)
+	}
+}
+
+func BenchmarkDeviationBatch64(b *testing.B) {
+	// One batch construction plus a sweep of single-link candidates:
+	// the shape of work inside every best-response oracle call.
+	ev, p := randomSetup(b, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := ev.NewDeviationBatch(p, i%64)
+		if batch == nil {
+			b.Fatal("batch unsupported")
+		}
+		var s core.Strategy
+		for j := 0; j < 64; j++ {
+			if j == i%64 {
+				continue
+			}
+			s.Add(j)
+			_ = batch.Eval(s)
+			s.Remove(j)
+		}
+	}
+}
+
 func BenchmarkExactBestResponse14(b *testing.B) {
 	ev, p := randomSetup(b, 14, 4)
 	oracle := &bestresponse.Exact{}
@@ -137,6 +168,38 @@ func BenchmarkDynamicsToConvergence(b *testing.B) {
 		}
 		if !res.Converged {
 			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkConvergeReplicas(b *testing.B) {
+	// 8 independent replica runs fanned across the dynamics worker pool
+	// (bit-identical to sequential; wall-clock scales with cores).
+	ev, _ := randomSetup(b, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := dynamics.Converge(ev, dynamics.Config{
+			Policy: &dynamics.RoundRobin{}, MaxSteps: 5000,
+		}, 8, 0.2, rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Runs != 8 {
+			b.Fatal("missing replicas")
+		}
+	}
+}
+
+func BenchmarkRunAllQuick(b *testing.B) {
+	// The whole reproduction harness, all 13 experiments, quick mode,
+	// default parallelism.
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.RunAll(nil, experiments.Params{Quick: true, Seed: 1}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != 13 {
+			b.Fatalf("got %d tables", len(tables))
 		}
 	}
 }

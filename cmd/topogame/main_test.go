@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"testing"
 )
 
@@ -33,5 +36,45 @@ func TestTopogameRunQuick(t *testing.T) {
 	}
 	if err := run([]string{"run", "-quick", "-seed", "9", "e2-fig1", "e3-cost"}); err != nil {
 		t.Fatalf("multi run: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything written.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(rp)
+		done <- b
+	}()
+	errRun := fn()
+	wp.Close()
+	out := <-done
+	os.Stdout = old
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
+
+// TestTopogameParOutputIdentical asserts the CLI-level determinism
+// guarantee: `run -par 1` and `run -par 8` print byte-identical output.
+func TestTopogameParOutputIdentical(t *testing.T) {
+	args := []string{"run", "-quick", "-csv", "-seed", "3", "e2-fig1", "e4-poa", "e6-cycle", "e8-dyn"}
+	seq := captureStdout(t, func() error { return run(append([]string{args[0], "-par", "1"}, args[1:]...)) })
+	par := captureStdout(t, func() error { return run(append([]string{args[0], "-par", "8"}, args[1:]...)) })
+	if len(seq) == 0 {
+		t.Fatal("no output captured")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("-par 1 and -par 8 outputs differ (%d vs %d bytes)", len(seq), len(par))
 	}
 }

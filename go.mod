@@ -1,0 +1,3 @@
+module selfishnet
+
+go 1.24

@@ -38,6 +38,19 @@ type Result struct {
 	Eval     core.Eval
 }
 
+// deviationScorer returns the fastest available evaluator of candidate
+// strategies for peer i under p: the batched deviation evaluator when
+// the instance admits it (directed, congestion-free, within the memory
+// cap), per-candidate SSSP otherwise. Oracles score every candidate —
+// including the incumbent — through one scorer, so all comparisons
+// within a search share identical floating-point arithmetic.
+func deviationScorer(ev *core.Evaluator, p core.Profile, i int) func(core.Strategy) core.Eval {
+	if b := ev.NewDeviationBatch(p, i); b != nil {
+		return b.Eval
+	}
+	return func(s core.Strategy) core.Eval { return ev.DeviationEval(p, i, s) }
+}
+
 // Oracle computes a best (or good) response for one peer.
 type Oracle interface {
 	// BestResponse returns the best strategy for peer i found by this
@@ -90,7 +103,8 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 
 	o.lastEvals = 0
 	budget := o.MaxEvaluations
-	best := Result{Strategy: p.Strategy(i).Clone(), Eval: ev.PeerEval(p, i)}
+	scorer := deviationScorer(ev, p, i)
+	best := Result{Strategy: p.Strategy(i).Clone(), Eval: scorer(p.Strategy(i))}
 	overBudget := false
 	score := func(s core.Strategy) (core.Eval, bool) {
 		o.lastEvals++
@@ -98,7 +112,7 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 			overBudget = true
 			return core.Eval{}, false
 		}
-		return ev.DeviationEval(p, i, s), true
+		return scorer(s), true
 	}
 
 	candidates := make([]int, 0, n-1)
@@ -188,8 +202,9 @@ func (o *LocalSearch) BestResponse(ev *core.Evaluator, p core.Profile, i int) (R
 	if i < 0 || i >= n {
 		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
 	}
+	scorer := deviationScorer(ev, p, i)
 	cur := p.Strategy(i).Clone()
-	curEval := ev.PeerEval(p, i)
+	curEval := scorer(cur)
 
 	maxIter := o.MaxIterations
 	if maxIter <= 0 {
@@ -200,7 +215,7 @@ func (o *LocalSearch) BestResponse(ev *core.Evaluator, p core.Profile, i int) (R
 		bestEval := curEval
 		improved := false
 		try := func(s core.Strategy) {
-			c := ev.DeviationEval(p, i, s)
+			c := scorer(s)
 			if c.Better(bestEval, Tolerance) {
 				bestMove, bestEval = s.Clone(), c
 				improved = true
@@ -256,8 +271,9 @@ func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, 
 	if i < 0 || i >= n {
 		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
 	}
+	scorer := deviationScorer(ev, p, i)
 	cur := bitset.New(n)
-	curEval := ev.DeviationEval(p, i, cur)
+	curEval := scorer(cur)
 
 	// Additive phase.
 	for {
@@ -268,7 +284,7 @@ func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, 
 				continue
 			}
 			cur.Add(j)
-			if c := ev.DeviationEval(p, i, cur); c.Better(bestEval, Tolerance) {
+			if c := scorer(cur); c.Better(bestEval, Tolerance) {
 				bestJ, bestEval = j, c
 			}
 			cur.Remove(j)
@@ -285,7 +301,7 @@ func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, 
 		bestEval := curEval
 		cur.ForEach(func(j int) bool {
 			cur.Remove(j)
-			if c := ev.DeviationEval(p, i, cur); c.Better(bestEval, Tolerance) {
+			if c := scorer(cur); c.Better(bestEval, Tolerance) {
 				bestJ, bestEval = j, c
 			}
 			cur.Add(j)
@@ -298,7 +314,7 @@ func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, 
 		curEval = bestEval
 	}
 	// Never return something worse than the current strategy.
-	if incumbent := ev.PeerEval(p, i); incumbent.Better(curEval, Tolerance) {
+	if incumbent := scorer(p.Strategy(i)); incumbent.Better(curEval, Tolerance) {
 		return Result{Strategy: p.Strategy(i).Clone(), Eval: incumbent}, nil
 	}
 	return Result{Strategy: cur, Eval: curEval}, nil
@@ -313,6 +329,13 @@ func Improvement(ev *core.Evaluator, p core.Profile, i int, o Oracle) (gain floa
 	res, err := o.BestResponse(ev, p, i)
 	if err != nil {
 		return 0, Result{}, err
+	}
+	if res.Strategy.Equal(p.Strategy(i)) {
+		// Staying put is by definition a zero-gain deviation. Without
+		// this guard a true equilibrium could report association-noise
+		// gains, because oracles score the incumbent through the batch
+		// evaluator while cur comes from a full SSSP.
+		return 0, res, nil
 	}
 	return cur.Gain(res.Eval), res, nil
 }

@@ -44,67 +44,6 @@ func (ev *Evaluator) indegrees(p Profile, override int, alt Strategy, buf []int)
 	}
 }
 
-// congestedSSSP is the congestion-aware variant of sssp: identical
-// Dijkstra, but arc weights are scaled by the head peer's in-degree.
-func (ev *Evaluator) congestedSSSP(p Profile, src, override int, alt Strategy) []float64 {
-	n := ev.inst.N()
-	gamma := ev.inst.congestionGamma
-	if ev.indegBuf == nil {
-		ev.indegBuf = make([]int, n)
-	}
-	ev.indegrees(p, override, alt, ev.indegBuf)
-	scale := make([]float64, n)
-	for j := 0; j < n; j++ {
-		scale[j] = 1 + gamma*float64(ev.indegBuf[j])
-	}
-
-	dist := ev.inst.dist
-	d, done := ev.d, ev.done
-	for i := 0; i < n; i++ {
-		d[i] = math.Inf(1)
-		done[i] = false
-	}
-	d[src] = 0
-	for iter := 0; iter < n; iter++ {
-		u, best := -1, math.Inf(1)
-		for v := 0; v < n; v++ {
-			if !done[v] && d[v] < best {
-				u, best = v, d[v]
-			}
-		}
-		if u == -1 {
-			break
-		}
-		done[u] = true
-		s := p.strategies[u]
-		if u == override {
-			s = alt
-		}
-		du := d[u]
-		row := dist[u]
-		s.ForEach(func(j int) bool {
-			if nd := du + row[j]*scale[j]; nd < d[j] {
-				d[j] = nd
-			}
-			return true
-		})
-		if ev.inst.undirected {
-			for v := 0; v < n; v++ {
-				sv := p.strategies[v]
-				if v == override {
-					sv = alt
-				}
-				if sv.Contains(u) {
-					if nd := du + row[v]*scale[v]; nd < d[v] {
-						d[v] = nd
-					}
-				}
-			}
-		}
-	}
-	return d
-}
-
 // validateCongestion rejects non-finite or negative γ at construction.
 func validateCongestion(gamma float64) error {
 	if gamma < 0 || math.IsNaN(gamma) || math.IsInf(gamma, 0) {

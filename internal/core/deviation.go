@@ -1,0 +1,96 @@
+package core
+
+import "math"
+
+// maxBatchPeers caps the O(n²) distance table a DeviationBatch holds
+// (2048 peers ≈ 32 MB of float64), so batching never dominates memory on
+// large instances; above the cap oracles fall back to per-candidate SSSP.
+const maxBatchPeers = 2048
+
+// DeviationBatch evaluates many candidate strategies for one fixed peer
+// far faster than per-candidate SSSP. It exploits the structure of a
+// unilateral deviation in the directed, congestion-free game: peer i's
+// outgoing links only matter as the first hop of a path from i (positive
+// weights mean shortest paths never revisit i), so with
+//
+//	rest[k][j] = d_{G−i}(k, j)   (distances with i's out-arcs removed)
+//
+// the deviation distances are d[j] = min_{k∈s} (d(i,k) + rest[k][j]),
+// an O(|s|·n) fold per candidate instead of a full Dijkstra. The exact
+// best-response oracle scores hundreds of candidates per call, so the
+// n−1 upfront SSSPs amortize immediately.
+//
+// The batch reuses evaluator-owned scratch: it stays valid until the
+// next NewDeviationBatch call on the same evaluator, and is bound to the
+// profile and peer it was created for. Like the evaluator itself it is
+// not safe for concurrent use.
+type DeviationBatch struct {
+	ev   *Evaluator
+	i    int
+	rest [][]float64
+	d    []float64
+}
+
+// NewDeviationBatch prepares batched deviation evaluation for peer i
+// under profile p. It returns nil when the instance does not admit the
+// decomposition — undirected links (i's arcs serve other peers' paths
+// too) or congestion (candidate links shift in-degrees, re-weighting the
+// whole graph) — or when n exceeds the memory cap; callers must then
+// fall back to DeviationEval.
+func (ev *Evaluator) NewDeviationBatch(p Profile, i int) *DeviationBatch {
+	n := ev.inst.N()
+	if ev.inst.undirected || ev.inst.congestionGamma > 0 || n > maxBatchPeers {
+		return nil
+	}
+	if i < 0 || i >= n {
+		return nil
+	}
+	if cap(ev.batchFlat) < n*n {
+		ev.batchFlat = make([]float64, n*n)
+		ev.batchD = make([]float64, n)
+	}
+	flat := ev.batchFlat[:n*n]
+	b := &DeviationBatch{ev: ev, i: i, rest: make([][]float64, n), d: ev.batchD[:n]}
+	ev.prepare(p, i, Strategy{}) // empty override removes i's out-arcs
+	for k := 0; k < n; k++ {
+		if k == i {
+			continue
+		}
+		row := flat[k*n : (k+1)*n]
+		copy(row, ev.ssspFrom(k))
+		b.rest[k] = row
+	}
+	return b
+}
+
+// Peer returns the deviating peer the batch is bound to.
+func (b *DeviationBatch) Peer() int { return b.i }
+
+// Eval returns peer i's enriched cost if it unilaterally switches to
+// strategy alt while everyone else keeps playing the batch's profile.
+// It is the batched equivalent of Evaluator.DeviationEval; results agree
+// with it up to floating-point association (different summation order
+// along paths), well within the oracles' tolerance.
+func (b *DeviationBatch) Eval(alt Strategy) Eval {
+	d := b.d
+	n := len(d)
+	for j := range d {
+		d[j] = math.Inf(1)
+	}
+	d[b.i] = 0
+	row := b.ev.inst.dist[b.i]
+	alt.ForEach(func(k int) bool {
+		rk := b.rest[k]
+		if rk == nil {
+			return true // k == i: a self-link never shortens a path
+		}
+		wk := row[k]
+		for j := 0; j < n; j++ {
+			if v := wk + rk[j]; v < d[j] {
+				d[j] = v
+			}
+		}
+		return true
+	})
+	return b.ev.peerEvalFrom(d, b.i, alt.Count())
+}

@@ -104,14 +104,36 @@ func (c Cost) Total() float64 { return c.Link + c.Term }
 
 // Evaluator computes peer and social costs for profiles over one
 // instance, reusing internal buffers. It is not safe for concurrent use;
-// create one per goroutine with NewEvaluator.
+// create one per goroutine with NewEvaluator, or derive per-goroutine
+// copies from an existing evaluator with Clone (the bound Instance is
+// immutable after construction, so clones share it safely).
 type Evaluator struct {
 	inst *Instance
-	// Scratch for the dense Dijkstra.
-	d    []float64
+	// SSSP distance scratch (one entry per peer).
+	d []float64
+	// Scratch for the retained dense reference implementation.
 	done []bool
 	// Scratch for congestion-aware evaluation.
 	indegBuf []int
+	scale    []float64 // per-peer congestion factors; nil when γ = 0
+	// Per-profile adjacency in CSR form, rebuilt by prepare. fwd holds
+	// the strategy arcs; rev is the maintained reverse-adjacency index
+	// (only built for undirected instances, where links owned by others
+	// are traversable too).
+	fwd, rev csr
+	revFill  []int32
+	heap     vertexHeap
+	// Scratch for batched deviation evaluation (see deviation.go).
+	batchFlat []float64
+	batchD    []float64
+}
+
+// csr is a compressed-sparse-row adjacency: the arcs leaving vertex u
+// are (to[k], w[k]) for k in [head[u], head[u+1]).
+type csr struct {
+	head []int32
+	to   []int32
+	w    []float64
 }
 
 // NewEvaluator returns an evaluator bound to the instance.
@@ -124,18 +146,204 @@ func NewEvaluator(inst *Instance) *Evaluator {
 	}
 }
 
+// Clone returns a fresh evaluator over the same instance. The instance
+// is immutable after construction, so clones can evaluate concurrently:
+// one evaluator per goroutine is the concurrency contract.
+func (ev *Evaluator) Clone() *Evaluator { return NewEvaluator(ev.inst) }
+
 // Instance returns the bound instance.
 func (ev *Evaluator) Instance() *Instance { return ev.inst }
 
-// sssp runs a dense Dijkstra from src over the profile topology, with
-// peer override's strategy replaced by alt (override = -1 disables the
-// override). The result is valid until the next sssp call.
-func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 {
-	if ev.inst.congestionGamma > 0 {
-		return ev.congestedSSSP(p, src, override, alt)
+// strategyOf returns peer u's strategy under p with the override applied.
+func strategyOf(p Profile, u, override int, alt Strategy) Strategy {
+	if u == override {
+		return alt
 	}
+	return p.strategies[u]
+}
+
+// prepare (re)builds the per-profile adjacency structures for SSSP:
+// congestion scale factors, the forward CSR over strategy arcs and — for
+// undirected instances — the reverse-adjacency CSR, so traversing links
+// owned by others costs O(indegree) per settled node instead of an O(n)
+// scan. The structures stay valid until the next prepare call; callers
+// evaluating many sources over one profile prepare once and then call
+// ssspFrom per source.
+func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 	n := ev.inst.N()
 	dist := ev.inst.dist
+
+	// Congestion: fold the head peer's in-degree into the arc weight, so
+	// the traversal itself needs no special casing.
+	if gamma := ev.inst.congestionGamma; gamma > 0 {
+		if ev.indegBuf == nil {
+			ev.indegBuf = make([]int, n)
+		}
+		ev.indegrees(p, override, alt, ev.indegBuf)
+		if cap(ev.scale) < n {
+			ev.scale = make([]float64, n)
+		}
+		ev.scale = ev.scale[:n]
+		for j := 0; j < n; j++ {
+			ev.scale[j] = 1 + gamma*float64(ev.indegBuf[j])
+		}
+	} else {
+		ev.scale = nil
+	}
+
+	// Forward CSR: one row per peer, arcs to the strategy's targets.
+	if cap(ev.fwd.head) < n+1 {
+		ev.fwd.head = make([]int32, n+1)
+	}
+	ev.fwd.head = ev.fwd.head[:n+1]
+	ev.fwd.head[0] = 0
+	for u := 0; u < n; u++ {
+		ev.fwd.head[u+1] = ev.fwd.head[u] + int32(strategyOf(p, u, override, alt).Count())
+	}
+	m := int(ev.fwd.head[n])
+	if cap(ev.fwd.to) < m {
+		ev.fwd.to = make([]int32, m)
+		ev.fwd.w = make([]float64, m)
+	}
+	ev.fwd.to = ev.fwd.to[:m]
+	ev.fwd.w = ev.fwd.w[:m]
+	for u := 0; u < n; u++ {
+		idx := ev.fwd.head[u]
+		row := dist[u]
+		strategyOf(p, u, override, alt).ForEach(func(j int) bool {
+			w := row[j]
+			if ev.scale != nil {
+				w *= ev.scale[j]
+			}
+			ev.fwd.to[idx] = int32(j)
+			ev.fwd.w[idx] = w
+			idx++
+			return true
+		})
+	}
+
+	if !ev.inst.undirected {
+		ev.rev.head = ev.rev.head[:0]
+		return
+	}
+
+	// Reverse CSR: row u lists the owners v with u ∈ s_v; traversing
+	// such a link from u into v costs d(u,v) scaled by v's congestion
+	// factor (the peer being entered), matching the forward convention.
+	if cap(ev.rev.head) < n+1 {
+		ev.rev.head = make([]int32, n+1)
+		ev.revFill = make([]int32, n)
+	}
+	ev.rev.head = ev.rev.head[:n+1]
+	ev.revFill = ev.revFill[:n]
+	for u := 0; u <= n; u++ {
+		ev.rev.head[u] = 0
+	}
+	for v := 0; v < n; v++ {
+		strategyOf(p, v, override, alt).ForEach(func(u int) bool {
+			ev.rev.head[u+1]++
+			return true
+		})
+	}
+	for u := 0; u < n; u++ {
+		ev.rev.head[u+1] += ev.rev.head[u]
+		ev.revFill[u] = ev.rev.head[u]
+	}
+	if cap(ev.rev.to) < m {
+		ev.rev.to = make([]int32, m)
+		ev.rev.w = make([]float64, m)
+	}
+	ev.rev.to = ev.rev.to[:m]
+	ev.rev.w = ev.rev.w[:m]
+	for v := 0; v < n; v++ {
+		sc := 1.0
+		if ev.scale != nil {
+			sc = ev.scale[v]
+		}
+		strategyOf(p, v, override, alt).ForEach(func(u int) bool {
+			pos := ev.revFill[u]
+			ev.rev.to[pos] = int32(v)
+			// d(u,v), not d(v,u): matches the dense reference and the
+			// forward convention even on asymmetric distance matrices.
+			ev.rev.w[pos] = dist[u][v] * sc
+			ev.revFill[u] = pos + 1
+			return true
+		})
+	}
+}
+
+// ssspFrom runs an indexed binary-heap Dijkstra (decrease-key, so each
+// vertex is popped exactly once) from src over the adjacency built by
+// the last prepare call. The result is valid until the next ssspFrom or
+// prepare call.
+func (ev *Evaluator) ssspFrom(src int) []float64 {
+	n := ev.inst.N()
+	d := ev.d
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	d[src] = 0
+	h := &ev.heap
+	h.reset(n)
+	h.fix(int32(src), 0)
+	fwdHead, fwdTo, fwdW := ev.fwd.head, ev.fwd.to, ev.fwd.w
+	revHead, revTo, revW := ev.rev.head, ev.rev.to, ev.rev.w
+	undirected := ev.inst.undirected
+	for !h.empty() {
+		u, du := h.popMin()
+		for k := fwdHead[u]; k < fwdHead[u+1]; k++ {
+			to := fwdTo[k]
+			if nd := du + fwdW[k]; nd < d[to] {
+				d[to] = nd
+				h.fix(to, nd)
+			}
+		}
+		if undirected {
+			for k := revHead[u]; k < revHead[u+1]; k++ {
+				to := revTo[k]
+				if nd := du + revW[k]; nd < d[to] {
+					d[to] = nd
+					h.fix(to, nd)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// sssp computes shortest-path distances from src over the profile
+// topology, with peer override's strategy replaced by alt (override = -1
+// disables the override). The result is valid until the next sssp call.
+func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 {
+	ev.prepare(p, override, alt)
+	return ev.ssspFrom(src)
+}
+
+// ssspDense is the retained dense O(n²) reference implementation of the
+// profile SSSP (selection-scan Dijkstra, congestion-aware, with the
+// undirected case paying an O(n) ownership scan per settled node). It is
+// kept solely as the trusted oracle for the differential test suite that
+// cross-checks the heap SSSP; production paths always use prepare +
+// ssspFrom. The result shares ev.d, so copy before comparing.
+func (ev *Evaluator) ssspDense(p Profile, src, override int, alt Strategy) []float64 {
+	n := ev.inst.N()
+	dist := ev.inst.dist
+	var scale []float64
+	if gamma := ev.inst.congestionGamma; gamma > 0 {
+		indeg := make([]int, n)
+		ev.indegrees(p, override, alt, indeg)
+		scale = make([]float64, n)
+		for j := 0; j < n; j++ {
+			scale[j] = 1 + gamma*float64(indeg[j])
+		}
+	}
+	weight := func(u, v int) float64 {
+		w := dist[u][v]
+		if scale != nil {
+			w *= scale[v]
+		}
+		return w
+	}
 	d, done := ev.d, ev.done
 	for i := 0; i < n; i++ {
 		d[i] = math.Inf(1)
@@ -153,14 +361,9 @@ func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 
 			break
 		}
 		done[u] = true
-		s := p.strategies[u]
-		if u == override {
-			s = alt
-		}
 		du := d[u]
-		row := dist[u]
-		s.ForEach(func(j int) bool {
-			if nd := du + row[j]; nd < d[j] {
+		strategyOf(p, u, override, alt).ForEach(func(j int) bool {
+			if nd := du + weight(u, j); nd < d[j] {
 				d[j] = nd
 			}
 			return true
@@ -168,12 +371,8 @@ func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 
 		if ev.inst.undirected {
 			// Links owned by others are traversable too.
 			for v := 0; v < n; v++ {
-				sv := p.strategies[v]
-				if v == override {
-					sv = alt
-				}
-				if sv.Contains(u) {
-					if nd := du + row[v]; nd < d[v] {
+				if strategyOf(p, v, override, alt).Contains(u) {
+					if nd := du + weight(u, v); nd < d[v] {
 						d[v] = nd
 					}
 				}
@@ -224,20 +423,41 @@ func (e Eval) Gain(alt Eval) float64 {
 }
 
 // peerEvalFrom computes the Eval of peer i given the SSSP distances from
-// i and the out-degree of the (possibly overridden) strategy.
+// i and the out-degree of the (possibly overridden) strategy. The two
+// built-in cost models are special-cased to keep the per-pair term out
+// of interface dispatch on the hot path; the arithmetic is identical to
+// the generic loop, so results match bit for bit.
 func (ev *Evaluator) peerEvalFrom(d []float64, i, degree int) Eval {
 	inst := ev.inst
 	e := Eval{Cost: Cost{Link: inst.alpha * float64(degree)}}
-	for j := 0; j < inst.N(); j++ {
-		if j == i {
-			continue
-		}
-		t := inst.model.Term(d[j], inst.dist[i][j])
+	row := inst.dist[i]
+	n := inst.N()
+	accumulate := func(j int, t float64) {
 		e.Cost.Term += t
 		if math.IsInf(t, 1) {
 			e.Unreachable++
 		} else {
 			e.FiniteTerm += t
+		}
+	}
+	switch inst.model.(type) {
+	case StretchModel:
+		for j := 0; j < n; j++ {
+			if j != i {
+				accumulate(j, d[j]/row[j])
+			}
+		}
+	case DistanceModel:
+		for j := 0; j < n; j++ {
+			if j != i {
+				accumulate(j, d[j])
+			}
+		}
+	default:
+		for j := 0; j < n; j++ {
+			if j != i {
+				accumulate(j, inst.model.Term(d[j], row[j]))
+			}
 		}
 	}
 	return e
@@ -269,10 +489,12 @@ func (ev *Evaluator) DeviationCost(p Profile, i int, alt Strategy) Cost {
 }
 
 // SocialCost returns the decomposed social cost C(G) = α|E| + Σ terms.
+// The adjacency is prepared once and shared by all n source runs.
 func (ev *Evaluator) SocialCost(p Profile) Cost {
+	ev.prepare(p, -1, Strategy{})
 	total := Cost{}
 	for i := 0; i < ev.inst.N(); i++ {
-		c := ev.PeerCost(p, i)
+		c := ev.peerEvalFrom(ev.ssspFrom(i), i, p.OutDegree(i)).Cost
 		total.Link += c.Link
 		total.Term += c.Term
 	}
@@ -284,9 +506,10 @@ func (ev *Evaluator) SocialCost(p Profile) Cost {
 // entries are 0; unreachable pairs are +Inf.
 func (ev *Evaluator) TermMatrix(p Profile) [][]float64 {
 	n := ev.inst.N()
+	ev.prepare(p, -1, Strategy{})
 	out := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		d := ev.sssp(p, i, -1, Strategy{})
+		d := ev.ssspFrom(i)
 		row := make([]float64, n)
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -303,9 +526,10 @@ func (ev *Evaluator) TermMatrix(p Profile) [][]float64 {
 // Nash equilibrium.
 func (ev *Evaluator) MaxTerm(p Profile) float64 {
 	n := ev.inst.N()
+	ev.prepare(p, -1, Strategy{})
 	maxT := 0.0
 	for i := 0; i < n; i++ {
-		d := ev.sssp(p, i, -1, Strategy{})
+		d := ev.ssspFrom(i)
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
@@ -322,8 +546,9 @@ func (ev *Evaluator) MaxTerm(p Profile) float64 {
 // directed overlay.
 func (ev *Evaluator) Connected(p Profile) bool {
 	n := ev.inst.N()
+	ev.prepare(p, -1, Strategy{})
 	for i := 0; i < n; i++ {
-		d := ev.sssp(p, i, -1, Strategy{})
+		d := ev.ssspFrom(i)
 		for j := 0; j < n; j++ {
 			if i != j && math.IsInf(d[j], 1) {
 				return false

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans all-pairs evaluations (social cost, term matrices, max
+// stretch, connectivity) out across a fixed set of per-goroutine
+// evaluator clones. Each worker prepares its own adjacency for the
+// profile and claims sources from a shared counter; per-source results
+// land in slices indexed by source and are reduced in index order, so
+// every result is bit-identical to the sequential Evaluator methods.
+//
+// A Pool is safe for use from one goroutine at a time (like an
+// Evaluator); the concurrency is internal. The profile must not be
+// mutated while a Pool method runs.
+type Pool struct {
+	evs []*Evaluator
+}
+
+// NewPool creates a pool of `workers` evaluators over the instance.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(inst *Instance, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n := inst.N(); workers > n {
+		workers = n
+	}
+	evs := make([]*Evaluator, workers)
+	for i := range evs {
+		evs[i] = NewEvaluator(inst)
+	}
+	return &Pool{evs: evs}
+}
+
+// Workers returns the pool's concurrency width.
+func (pl *Pool) Workers() int { return len(pl.evs) }
+
+// Instance returns the bound instance.
+func (pl *Pool) Instance() *Instance { return pl.evs[0].inst }
+
+// forEachSource runs fn for every source peer, fanning across the
+// workers. fn receives the worker's evaluator (with the profile already
+// prepared) and the SSSP distances from src, which it must not retain.
+// A non-nil stop is polled before each source; once it returns true the
+// remaining sources are skipped (early exit for short-circuit queries).
+func (pl *Pool) forEachSource(p Profile, stop func() bool, fn func(ev *Evaluator, src int, d []float64)) {
+	n := pl.Instance().N()
+	if len(pl.evs) == 1 {
+		ev := pl.evs[0]
+		ev.prepare(p, -1, Strategy{})
+		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				return
+			}
+			fn(ev, i, ev.ssspFrom(i))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, ev := range pl.evs {
+		wg.Add(1)
+		go func(ev *Evaluator) {
+			defer wg.Done()
+			prepared := false
+			for {
+				if stop != nil && stop() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !prepared {
+					ev.prepare(p, -1, Strategy{})
+					prepared = true
+				}
+				fn(ev, i, ev.ssspFrom(i))
+			}
+		}(ev)
+	}
+	wg.Wait()
+}
+
+// PeerEvals returns every peer's enriched cost under p, in peer order.
+func (pl *Pool) PeerEvals(p Profile) []Eval {
+	out := make([]Eval, pl.Instance().N())
+	pl.forEachSource(p, nil, func(ev *Evaluator, src int, d []float64) {
+		out[src] = ev.peerEvalFrom(d, src, p.OutDegree(src))
+	})
+	return out
+}
+
+// SocialCost returns the decomposed social cost C(G) = α|E| + Σ terms,
+// bit-identical to Evaluator.SocialCost (per-source costs are summed in
+// source order).
+func (pl *Pool) SocialCost(p Profile) Cost {
+	total := Cost{}
+	for _, e := range pl.PeerEvals(p) {
+		total.Link += e.Cost.Link
+		total.Term += e.Cost.Term
+	}
+	return total
+}
+
+// MaxTerm returns the largest pairwise term, as Evaluator.MaxTerm.
+func (pl *Pool) MaxTerm(p Profile) float64 {
+	n := pl.Instance().N()
+	perSource := make([]float64, n)
+	pl.forEachSource(p, nil, func(ev *Evaluator, src int, d []float64) {
+		inst := ev.inst
+		maxT := 0.0
+		for j := 0; j < n; j++ {
+			if j == src {
+				continue
+			}
+			if t := inst.model.Term(d[j], inst.dist[src][j]); t > maxT {
+				maxT = t
+			}
+		}
+		perSource[src] = maxT
+	})
+	maxT := 0.0
+	for _, t := range perSource {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// Connected reports whether every peer reaches every other along the
+// directed overlay, as Evaluator.Connected.
+func (pl *Pool) Connected(p Profile) bool {
+	n := pl.Instance().N()
+	var disconnected atomic.Bool
+	pl.forEachSource(p, disconnected.Load, func(_ *Evaluator, src int, d []float64) {
+		for j := 0; j < n; j++ {
+			if j != src && math.IsInf(d[j], 1) {
+				disconnected.Store(true)
+				return
+			}
+		}
+	})
+	return !disconnected.Load()
+}
+
+// TermMatrix returns the per-pair cost terms, as Evaluator.TermMatrix.
+func (pl *Pool) TermMatrix(p Profile) [][]float64 {
+	n := pl.Instance().N()
+	out := make([][]float64, n)
+	pl.forEachSource(p, nil, func(ev *Evaluator, src int, d []float64) {
+		inst := ev.inst
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if j != src {
+				row[j] = inst.model.Term(d[j], inst.dist[src][j])
+			}
+		}
+		out[src] = row
+	})
+	return out
+}

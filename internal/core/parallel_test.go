@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+func poolTestInstance(t *testing.T, n int, opts ...Option) *Instance {
+	t.Helper()
+	space, err := metric.UniformPoints(rng.New(41), n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(space, 3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func poolTestProfile(n int, q float64) Profile {
+	r := rng.New(43)
+	p := NewProfile(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.Bool(q) {
+				_ = p.AddLink(i, j)
+			}
+		}
+	}
+	return p
+}
+
+// TestPoolMatchesEvaluatorBitIdentical asserts the pool's ordered
+// reduction: parallel SocialCost/MaxTerm/Connected must equal the
+// sequential evaluator results exactly (==, not within tolerance).
+func TestPoolMatchesEvaluatorBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+		q    float64
+	}{
+		{name: "directed", q: 0.2},
+		{name: "directed-disconnected", q: 0.02},
+		{name: "undirected", opts: []Option{WithUndirected()}, q: 0.15},
+		{name: "congested", opts: []Option{WithCongestion(0.6)}, q: 0.2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 40
+			inst := poolTestInstance(t, n, tc.opts...)
+			p := poolTestProfile(n, tc.q)
+			ev := NewEvaluator(inst)
+			for _, workers := range []int{1, 2, 7} {
+				pl := NewPool(inst, workers)
+				if got, want := pl.SocialCost(p), ev.SocialCost(p); got != want {
+					t.Fatalf("workers=%d SocialCost: got %+v, want %+v", workers, got, want)
+				}
+				if got, want := pl.MaxTerm(p), ev.MaxTerm(p); got != want {
+					t.Fatalf("workers=%d MaxTerm: got %v, want %v", workers, got, want)
+				}
+				if got, want := pl.Connected(p), ev.Connected(p); got != want {
+					t.Fatalf("workers=%d Connected: got %v, want %v", workers, got, want)
+				}
+				gotTM, wantTM := pl.TermMatrix(p), ev.TermMatrix(p)
+				for i := range wantTM {
+					for j := range wantTM[i] {
+						if gotTM[i][j] != wantTM[i][j] {
+							t.Fatalf("workers=%d TermMatrix[%d][%d]: got %v, want %v",
+								workers, i, j, gotTM[i][j], wantTM[i][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorCloneStress hammers clones of one shared instance from
+// many goroutines at once; run under -race it proves the concurrency
+// contract (immutable instance, per-goroutine evaluator state). Each
+// goroutine checks its results against a sequentially computed truth.
+func TestEvaluatorCloneStress(t *testing.T) {
+	const (
+		n          = 24
+		goroutines = 16
+		rounds     = 20
+	)
+	inst := poolTestInstance(t, n)
+	profiles := make([]Profile, 5)
+	for k := range profiles {
+		profiles[k] = poolTestProfile(n, 0.1+0.1*float64(k))
+	}
+	root := NewEvaluator(inst)
+	truth := make([]Cost, len(profiles))
+	for k, p := range profiles {
+		truth[k] = root.SocialCost(p)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ev := root.Clone()
+			r := rng.New(uint64(g) + 1)
+			for round := 0; round < rounds; round++ {
+				k := r.Intn(len(profiles))
+				p := profiles[k]
+				if got := ev.SocialCost(p); got != truth[k] {
+					t.Errorf("goroutine %d round %d: SocialCost %+v, want %+v", g, round, got, truth[k])
+					return
+				}
+				// Mix in deviation work so batch scratch is exercised too.
+				i := r.Intn(n)
+				if b := ev.NewDeviationBatch(p, i); b != nil {
+					want := ev.DeviationEval(p, i, p.Strategy(i))
+					got := b.Eval(p.Strategy(i))
+					if got.Unreachable != want.Unreachable {
+						t.Errorf("goroutine %d round %d: batch unreachable %d, want %d",
+							g, round, got.Unreachable, want.Unreachable)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolSharedAcrossProfiles confirms a pool is reusable across
+// profiles (workers re-prepare their adjacency per call).
+func TestPoolSharedAcrossProfiles(t *testing.T) {
+	const n = 20
+	inst := poolTestInstance(t, n)
+	pl := NewPool(inst, 4)
+	ev := NewEvaluator(inst)
+	for _, q := range []float64{0.05, 0.2, 0.5} {
+		p := poolTestProfile(n, q)
+		if got, want := pl.SocialCost(p), ev.SocialCost(p); got != want {
+			t.Fatalf("q=%v: got %+v, want %+v", q, got, want)
+		}
+	}
+}

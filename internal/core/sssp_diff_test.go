@@ -1,0 +1,210 @@
+package core
+
+// Differential tests for the heap SSSP: the production path (prepare +
+// indexed-heap ssspFrom) and the batched deviation evaluator are checked
+// against the retained dense O(n²) reference (ssspDense) on randomized
+// instances spanning every regime the evaluator dispatches on — directed
+// and undirected links, congestion γ > 0, and strategy overrides.
+
+import (
+	"math"
+	"testing"
+
+	"selfishnet/internal/bitset"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+const diffTol = 1e-9
+
+// diffCase is one randomized instance/profile regime.
+type diffCase struct {
+	name       string
+	n          int
+	linkProb   float64
+	undirected bool
+	gamma      float64
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{name: "directed-sparse", n: 23, linkProb: 0.08},
+		{name: "directed-dense", n: 17, linkProb: 0.5},
+		{name: "directed-disconnected", n: 19, linkProb: 0.03},
+		{name: "undirected-sparse", n: 21, linkProb: 0.08, undirected: true},
+		{name: "undirected-dense", n: 15, linkProb: 0.4, undirected: true},
+		{name: "congested", n: 18, linkProb: 0.2, gamma: 0.7},
+		{name: "congested-undirected", n: 16, linkProb: 0.15, undirected: true, gamma: 1.3},
+		{name: "tiny", n: 3, linkProb: 0.5},
+	}
+}
+
+func buildDiffInstance(t *testing.T, r *rng.RNG, c diffCase) *Instance {
+	t.Helper()
+	space, err := metric.UniformPoints(r, c.n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{}
+	if c.undirected {
+		opts = append(opts, WithUndirected())
+	}
+	if c.gamma > 0 {
+		opts = append(opts, WithCongestion(c.gamma))
+	}
+	inst, err := NewInstance(space, 2.5, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func randomStrategy(r *rng.RNG, n, self int, q float64) Strategy {
+	s := bitset.New(n)
+	for j := 0; j < n; j++ {
+		if j != self && r.Bool(q) {
+			s.Add(j)
+		}
+	}
+	return s
+}
+
+func randomDiffProfile(r *rng.RNG, n int, q float64) Profile {
+	p := NewProfile(n)
+	for i := 0; i < n; i++ {
+		_ = p.SetStrategy(i, randomStrategy(r, n, i, q))
+	}
+	return p
+}
+
+// distsEqual compares two distance vectors entry-wise: +Inf must match
+// exactly, finite entries within tol.
+func distsEqual(a, b []float64, tol float64) (int, bool) {
+	for j := range a {
+		ia, ib := math.IsInf(a[j], 1), math.IsInf(b[j], 1)
+		if ia != ib {
+			return j, false
+		}
+		if !ia && math.Abs(a[j]-b[j]) > tol {
+			return j, false
+		}
+	}
+	return 0, true
+}
+
+// TestHeapSSSPMatchesDenseReference cross-checks the heap SSSP against
+// the dense reference from every source, without overrides.
+func TestHeapSSSPMatchesDenseReference(t *testing.T) {
+	r := rng.New(7)
+	for _, c := range diffCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				inst := buildDiffInstance(t, r, c)
+				ev := NewEvaluator(inst)
+				p := randomDiffProfile(r, c.n, c.linkProb)
+				for src := 0; src < c.n; src++ {
+					dense := append([]float64(nil), ev.ssspDense(p, src, -1, Strategy{})...)
+					heap := append([]float64(nil), ev.sssp(p, src, -1, Strategy{})...)
+					if j, ok := distsEqual(heap, dense, diffTol); !ok {
+						t.Fatalf("trial %d src %d: heap d[%d]=%v, dense d[%d]=%v",
+							trial, src, j, heap[j], j, dense[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHeapSSSPMatchesDenseReferenceWithOverride cross-checks deviation
+// evaluation: a random peer's strategy is overridden by a random
+// alternative, exactly as best-response oracles do.
+func TestHeapSSSPMatchesDenseReferenceWithOverride(t *testing.T) {
+	r := rng.New(11)
+	for _, c := range diffCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				inst := buildDiffInstance(t, r, c)
+				ev := NewEvaluator(inst)
+				p := randomDiffProfile(r, c.n, c.linkProb)
+				i := r.Intn(c.n)
+				alt := randomStrategy(r, c.n, i, c.linkProb+0.1)
+				dense := append([]float64(nil), ev.ssspDense(p, i, i, alt)...)
+				heap := append([]float64(nil), ev.sssp(p, i, i, alt)...)
+				if j, ok := distsEqual(heap, dense, diffTol); !ok {
+					t.Fatalf("trial %d peer %d: heap d[%d]=%v, dense d[%d]=%v",
+						trial, i, j, heap[j], j, dense[j])
+				}
+			}
+		})
+	}
+}
+
+// TestDeviationBatchMatchesDeviationEval checks the batched deviation
+// evaluator against per-candidate SSSP on the regimes that support it.
+func TestDeviationBatchMatchesDeviationEval(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 8; trial++ {
+		c := diffCase{n: 5 + r.Intn(20), linkProb: 0.05 + 0.4*r.Float64()}
+		inst := buildDiffInstance(t, r, c)
+		ev := NewEvaluator(inst)
+		p := randomDiffProfile(r, c.n, c.linkProb)
+		i := r.Intn(c.n)
+		b := ev.NewDeviationBatch(p, i)
+		if b == nil {
+			t.Fatalf("trial %d: batch unsupported on a directed congestion-free instance", trial)
+		}
+		for cand := 0; cand < 12; cand++ {
+			alt := randomStrategy(r, c.n, i, r.Float64())
+			got := b.Eval(alt)
+			want := ev.DeviationEval(p, i, alt)
+			if got.Unreachable != want.Unreachable {
+				t.Fatalf("trial %d cand %d: unreachable %d, want %d", trial, cand, got.Unreachable, want.Unreachable)
+			}
+			if math.Abs(got.Key()-want.Key()) > diffTol {
+				t.Fatalf("trial %d cand %d: key %v, want %v", trial, cand, got.Key(), want.Key())
+			}
+			if math.Abs(got.Cost.Link-want.Cost.Link) > diffTol {
+				t.Fatalf("trial %d cand %d: link %v, want %v", trial, cand, got.Cost.Link, want.Cost.Link)
+			}
+		}
+	}
+}
+
+// TestDeviationBatchUnsupportedRegimes confirms the oracle fallback
+// contract: undirected or congested instances must return nil.
+func TestDeviationBatchUnsupportedRegimes(t *testing.T) {
+	r := rng.New(17)
+	for _, c := range []diffCase{
+		{name: "undirected", n: 9, linkProb: 0.3, undirected: true},
+		{name: "congested", n: 9, linkProb: 0.3, gamma: 0.5},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildDiffInstance(t, r, c)
+			ev := NewEvaluator(inst)
+			p := randomDiffProfile(r, c.n, c.linkProb)
+			if b := ev.NewDeviationBatch(p, 0); b != nil {
+				t.Fatalf("expected nil batch for %s instance", c.name)
+			}
+		})
+	}
+}
+
+// TestSSSPMatchesSingleCallAfterMultiSource guards the prepare-once
+// contract: interleaving multi-source evaluations (which share one
+// prepared adjacency) with single-call paths must not leak state.
+func TestSSSPMatchesSingleCallAfterMultiSource(t *testing.T) {
+	r := rng.New(19)
+	c := diffCase{n: 14, linkProb: 0.25}
+	inst := buildDiffInstance(t, r, c)
+	ev := NewEvaluator(inst)
+	p := randomDiffProfile(r, c.n, c.linkProb)
+	q := randomDiffProfile(r, c.n, c.linkProb)
+
+	_ = ev.SocialCost(p) // prepares p's adjacency
+	gotQ := ev.PeerEval(q, 3)
+	evFresh := NewEvaluator(inst)
+	wantQ := evFresh.PeerEval(q, 3)
+	if gotQ != wantQ {
+		t.Fatalf("PeerEval after SocialCost on another profile: got %+v, want %+v", gotQ, wantQ)
+	}
+}

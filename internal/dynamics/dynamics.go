@@ -6,12 +6,21 @@
 // never stabilize; the engine's cycle detection turns that claim into a
 // measurement. A repeated (profile, scheduler-state) pair under a
 // deterministic policy is a proof that the run loops forever.
+//
+// Multi-replica drivers (Converge, WorstEquilibrium) fan independent
+// runs across a worker pool of evaluator clones, governed by
+// Config.Parallelism. Per-replica RNG streams and starting profiles are
+// pre-drawn sequentially and outcomes reduced in replica order, so
+// aggregates are bit-identical at every parallelism width.
 package dynamics
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"selfishnet/internal/bestresponse"
 	"selfishnet/internal/core"
@@ -33,6 +42,10 @@ type Policy interface {
 	Deterministic() bool
 	// Reset clears internal state before a run.
 	Reset()
+	// Clone returns an independent policy with the same configuration
+	// and fresh state, so concurrent replica runs never share scheduler
+	// state.
+	Clone() Policy
 	// Name identifies the policy in tables.
 	Name() string
 }
@@ -53,6 +66,9 @@ func (*RoundRobin) Deterministic() bool { return true }
 
 // Reset rewinds the pointer to peer 0.
 func (p *RoundRobin) Reset() { p.ptr = 0 }
+
+// Clone returns a fresh round-robin scheduler.
+func (*RoundRobin) Clone() Policy { return &RoundRobin{} }
 
 // StateKey returns the scan pointer.
 func (p *RoundRobin) StateKey() uint64 { return uint64(p.ptr) }
@@ -84,6 +100,9 @@ func (FirstImproving) Deterministic() bool { return true }
 // Reset is a no-op.
 func (FirstImproving) Reset() {}
 
+// Clone returns the policy itself (stateless).
+func (FirstImproving) Clone() Policy { return FirstImproving{} }
+
 // StateKey returns 0 (stateless).
 func (FirstImproving) StateKey() uint64 { return 0 }
 
@@ -113,6 +132,9 @@ func (MaxGain) Deterministic() bool { return true }
 // Reset is a no-op.
 func (MaxGain) Reset() {}
 
+// Clone returns the policy itself (stateless).
+func (MaxGain) Clone() Policy { return MaxGain{} }
+
 // StateKey returns 0 (stateless).
 func (MaxGain) StateKey() uint64 { return 0 }
 
@@ -141,6 +163,10 @@ func (RandomImproving) Deterministic() bool { return false }
 
 // Reset is a no-op.
 func (RandomImproving) Reset() {}
+
+// Clone returns the policy itself (stateless; randomness comes from the
+// per-run RNG).
+func (RandomImproving) Clone() Policy { return RandomImproving{} }
 
 // StateKey returns 0.
 func (RandomImproving) StateKey() uint64 { return 0 }
@@ -183,6 +209,15 @@ type Config struct {
 	DetectCycles bool
 	// OnStep, when non-nil, receives every applied move.
 	OnStep func(StepEvent)
+	// Parallelism bounds how many replica runs Converge and
+	// WorstEquilibrium execute concurrently (each on its own evaluator
+	// clone). 0 selects runtime.GOMAXPROCS(0); 1 forces sequential
+	// execution. Results are bit-identical at every width: per-replica
+	// RNG streams and starting profiles are drawn sequentially up
+	// front, and outcomes are aggregated in replica order. A non-nil
+	// OnStep forces sequential execution so callbacks never run
+	// concurrently. Single runs (Run) are unaffected.
+	Parallelism int
 }
 
 // Result summarizes a dynamics run.
@@ -245,24 +280,40 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		trail = make([]core.Profile, 0, 64)
 	}
 
-	// Per-step cache of best responses so PickNext's gains are reused
-	// when applying the move.
+	// Per-step caches of current evals and best responses so PickNext's
+	// gains are reused when applying the move.
 	devCache := make(map[int]bestresponse.Result, n)
+	curCache := make(map[int]core.Eval, n)
+	curEval := func(i int) core.Eval {
+		c, ok := curCache[i]
+		if !ok {
+			c = ev.PeerEval(p, i)
+			curCache[i] = c
+		}
+		return c
+	}
 	var oracleErr error
 	gain := func(i int) float64 {
 		if oracleErr != nil {
 			return 0
 		}
-		cur := ev.PeerEval(p, i)
+		cur := curEval(i)
 		dev, ok := devCache[i]
 		if !ok {
-			var err error
-			_, dev, err = bestresponse.Improvement(ev, p, i, cfg.Oracle)
+			res, err := cfg.Oracle.BestResponse(ev, p, i)
 			if err != nil {
 				oracleErr = err
 				return 0
 			}
+			dev = res
 			devCache[i] = dev
+		}
+		if dev.Strategy.Equal(p.Strategy(i)) {
+			// Staying put is not a deviation. Guards against phantom
+			// gains when the oracle's scorer and PeerEval disagree by
+			// floating-point association and the caller's Tol is below
+			// that noise.
+			return 0
 		}
 		return cur.Gain(dev.Eval)
 	}
@@ -299,7 +350,7 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		if !ok {
 			return Result{}, ErrNoProgress
 		}
-		old := ev.PeerEval(p, mover)
+		old := curEval(mover)
 		if !dev.Eval.Better(old, cfg.Tol) {
 			return Result{}, ErrNoProgress
 		}
@@ -307,6 +358,7 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		clear(devCache)
+		clear(curCache)
 		res.Steps = step + 1
 		if cfg.OnStep != nil {
 			cfg.OnStep(StepEvent{
@@ -362,9 +414,81 @@ func RandomProfile(r *rng.RNG, n int, q float64) core.Profile {
 	return p
 }
 
+// replicaRuns executes `runs` independent dynamics runs from random
+// starting profiles, fanning them across cfg.Parallelism workers with
+// one evaluator clone per goroutine. Determinism at every parallelism
+// width comes from two invariants: each replica's RNG stream and start
+// profile are drawn from r sequentially before any run begins (so the
+// parent stream advances exactly as in a sequential loop), and results
+// are collected into a slice indexed by replica so callers aggregate in
+// replica order. The returned error is the lowest-index replica failure,
+// matching what a sequential loop would have reported first.
+func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
+	n := ev.Instance().N()
+	type replica struct {
+		cfg   Config
+		start core.Profile
+	}
+	reps := make([]replica, runs)
+	for k := range reps {
+		runCfg := cfg
+		runCfg.Rand = r.Split()
+		if runCfg.Policy != nil {
+			// Stateful policies (e.g. RoundRobin's scan pointer) must
+			// not be shared across concurrent replicas.
+			runCfg.Policy = runCfg.Policy.Clone()
+		}
+		reps[k] = replica{cfg: runCfg, start: RandomProfile(r, n, linkProb)}
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if cfg.OnStep != nil {
+		workers = 1 // callbacks must not fire concurrently
+	}
+
+	results := make([]Result, runs)
+	errs := make([]error, runs)
+	if workers == 1 {
+		for k := range reps {
+			results[k], errs[k] = Run(ev, reps[k].start, reps[k].cfg)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wev := ev.Clone()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= runs {
+						return
+					}
+					results[k], errs[k] = Run(wev, reps[k].start, reps[k].cfg)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dynamics: run %d: %w", k, err)
+		}
+	}
+	return results, nil
+}
+
 // Converge runs dynamics from `runs` random starting profiles and
 // aggregates the outcomes. Each run gets an independent RNG stream split
-// from r.
+// from r. Replicas execute concurrently per cfg.Parallelism; the
+// aggregate is bit-identical at any width.
 func Converge(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) (ConvergenceStats, error) {
 	if runs <= 0 {
 		return ConvergenceStats{}, fmt.Errorf("dynamics: runs = %d, want > 0", runs)
@@ -372,17 +496,14 @@ func Converge(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng
 	if r == nil {
 		return ConvergenceStats{}, errors.New("dynamics: Converge needs an RNG")
 	}
+	results, err := replicaRuns(ev, cfg, runs, linkProb, r)
+	if err != nil {
+		return ConvergenceStats{}, err
+	}
 	stats := ConvergenceStats{Runs: runs}
 	finals := make(map[uint64]bool)
 	sumSteps, sumCycle := 0, 0
-	for k := 0; k < runs; k++ {
-		runCfg := cfg
-		runCfg.Rand = r.Split()
-		start := RandomProfile(r, ev.Instance().N(), linkProb)
-		res, err := Run(ev, start, runCfg)
-		if err != nil {
-			return ConvergenceStats{}, fmt.Errorf("dynamics: run %d: %w", k, err)
-		}
+	for _, res := range results {
 		stats.TotalApplied += res.Steps
 		switch {
 		case res.Converged:
@@ -413,19 +534,21 @@ func Converge(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng
 // converged equilibrium with the highest social cost, along with how
 // many runs converged. Used by the Price-of-Anarchy experiments to
 // search for bad equilibria. Returns ok=false if no run converged.
+// Replicas execute concurrently per cfg.Parallelism; the winner is
+// selected in replica order, so it is identical at any width.
 func WorstEquilibrium(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) (worst core.Profile, cost core.Cost, converged int, ok bool, err error) {
 	if r == nil {
 		return core.Profile{}, core.Cost{}, 0, false, errors.New("dynamics: WorstEquilibrium needs an RNG")
 	}
+	if runs <= 0 {
+		return core.Profile{}, core.Cost{}, 0, false, nil
+	}
+	results, err := replicaRuns(ev, cfg, runs, linkProb, r)
+	if err != nil {
+		return core.Profile{}, core.Cost{}, 0, false, err
+	}
 	worstCost := math.Inf(-1)
-	for k := 0; k < runs; k++ {
-		runCfg := cfg
-		runCfg.Rand = r.Split()
-		start := RandomProfile(r, ev.Instance().N(), linkProb)
-		res, runErr := Run(ev, start, runCfg)
-		if runErr != nil {
-			return core.Profile{}, core.Cost{}, 0, false, fmt.Errorf("dynamics: run %d: %w", k, runErr)
-		}
+	for _, res := range results {
 		if !res.Converged {
 			continue
 		}

@@ -137,6 +137,7 @@ func (stuckPolicy) PickNext(int, func(int) float64, float64, *rng.RNG) int { ret
 func (stuckPolicy) StateKey() uint64                                       { return 0 }
 func (stuckPolicy) Deterministic() bool                                    { return true }
 func (stuckPolicy) Reset()                                                 {}
+func (stuckPolicy) Clone() Policy                                          { return stuckPolicy{} }
 func (stuckPolicy) Name() string                                           { return "stuck" }
 
 func TestRunRejectsNonImprovingPolicy(t *testing.T) {

@@ -5,12 +5,17 @@
 // these runners.
 //
 // Every runner is deterministic given its Params (explicit seeds, no
-// wall-clock), so tables regenerate bit-identically.
+// wall-clock), so tables regenerate bit-identically. That determinism is
+// what lets RunAll execute runners concurrently while guaranteeing the
+// exported tables match a sequential run byte for byte.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"selfishnet/internal/export"
 )
@@ -26,6 +31,12 @@ type Params struct {
 	// Quick reduces instance sizes and run counts (~10× faster), for
 	// benchmarks and CI smoke tests.
 	Quick bool
+	// Parallelism is the worker budget a runner may use for its own
+	// internal fan-outs (replica runs, pooled evaluations); it never
+	// changes results, only wall-clock. 0 means all cores. RunAll
+	// divides its budget across concurrent runners so nested fan-outs
+	// do not oversubscribe the CPU.
+	Parallelism int
 }
 
 func (p Params) seed() uint64 {
@@ -81,4 +92,78 @@ func Run(id string, p Params) (*export.Table, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	return e.runner(p)
+}
+
+// RunAll executes the given experiments concurrently and returns their
+// tables in input order. nil (or empty) ids selects every registered
+// experiment in sorted-ID order. parallelism bounds how many runners
+// execute at once: 0 selects runtime.GOMAXPROCS(0), 1 forces sequential
+// execution.
+//
+// Every runner derives all randomness from Params (explicit seeds, no
+// wall clock or shared state), so each table — and therefore the whole
+// result slice — is bit-identical at any parallelism, including 1. When
+// runners fail, the error of the earliest failing id is returned (what
+// a sequential loop would have reported first); tables of successful
+// runners are still filled in.
+func RunAll(ids []string, p Params, parallelism int) ([]*export.Table, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		}
+	}
+	requested := parallelism
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	workers := requested
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	// Split the budget: runner-level fan-out gets `workers` goroutines,
+	// and each runner may internally use the remaining width. A single
+	// experiment keeps the whole budget (so `-par 8 e8-dyn` fans its
+	// replicas 8-wide); 13 concurrent runners on 8 cores each run their
+	// replicas sequentially. An explicit caller-set Params.Parallelism
+	// is respected as-is.
+	if p.Parallelism == 0 {
+		p.Parallelism = requested / workers
+		if p.Parallelism < 1 {
+			p.Parallelism = 1
+		}
+	}
+
+	tables := make([]*export.Table, len(ids))
+	errs := make([]error, len(ids))
+	if workers == 1 {
+		for i, id := range ids {
+			tables[i], errs[i] = Run(id, p)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) {
+						return
+					}
+					tables[i], errs[i] = Run(ids[i], p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return tables, fmt.Errorf("%s: %w", ids[i], err)
+		}
+	}
+	return tables, nil
 }

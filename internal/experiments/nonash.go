@@ -189,9 +189,14 @@ func E8Convergence(p Params) (*export.Table, error) {
 				return nil, err
 			}
 			ev := core.NewEvaluator(inst)
+			// The replica fan-out width is the budget RunAll allotted
+			// this runner (1 when many runners already run concurrently,
+			// the full -par width when this experiment runs alone); the
+			// stats are identical at every width.
 			stats, err := dynamics.Converge(ev, dynamics.Config{
-				Policy:   pol,
-				MaxSteps: 5000,
+				Policy:      pol,
+				MaxSteps:    5000,
+				Parallelism: p.Parallelism,
 			}, runs, 0.3, r)
 			if err != nil {
 				return nil, err

@@ -190,52 +190,17 @@ func dijkstraHeap(g Adjacency, src int) []float64 {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	heap := make([]pqItem, 0, n)
-	push := func(it pqItem) {
-		heap = append(heap, it)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if heap[p].d <= heap[i].d {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() pqItem {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			smallest := i
-			if l < last && heap[l].d < heap[smallest].d {
-				smallest = l
-			}
-			if r < last && heap[r].d < heap[smallest].d {
-				smallest = r
-			}
-			if smallest == i {
-				break
-			}
-			heap[i], heap[smallest] = heap[smallest], heap[i]
-			i = smallest
-		}
-		return top
-	}
-	push(pqItem{src, 0})
-	for len(heap) > 0 {
-		it := pop()
-		if it.d > dist[it.v] {
+	var h DistHeap
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		if d > dist[v] {
 			continue // stale entry
 		}
-		g.VisitArcs(it.v, func(to int, w float64) {
-			if d := it.d + w; d < dist[to] {
-				dist[to] = d
-				push(pqItem{to, d})
+		g.VisitArcs(v, func(to int, w float64) {
+			if nd := d + w; nd < dist[to] {
+				dist[to] = nd
+				h.Push(to, nd)
 			}
 		})
 	}

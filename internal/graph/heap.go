@@ -1,0 +1,58 @@
+package graph
+
+// DistHeap is a reusable binary min-heap of (vertex, tentative distance)
+// pairs, the priority queue behind this package's lazy-deletion Dijkstra
+// (the game evaluator's profile SSSP uses its own indexed decrease-key
+// heap in internal/core instead, which pops each vertex exactly once).
+// The zero value is ready to use; Reset empties the heap while retaining
+// its backing storage so hot loops do not reallocate.
+type DistHeap struct {
+	items []pqItem
+}
+
+// Reset empties the heap, keeping capacity.
+func (h *DistHeap) Reset() { h.items = h.items[:0] }
+
+// Len returns the number of queued entries (including stale ones under
+// lazy deletion).
+func (h *DistHeap) Len() int { return len(h.items) }
+
+// Push queues vertex v at distance d.
+func (h *DistHeap) Push(v int, d float64) {
+	h.items = append(h.items, pqItem{v: v, d: d})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].d <= h.items[i].d {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+// Pop removes and returns the entry with the smallest distance. It must
+// not be called on an empty heap.
+func (h *DistHeap) Pop() (v int, d float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].d < h.items[smallest].d {
+			smallest = l
+		}
+		if r < last && h.items[r].d < h.items[smallest].d {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top.v, top.d
+}
