@@ -284,6 +284,37 @@ func BenchmarkOverlaySimulation(b *testing.B) {
 	}
 }
 
+func BenchmarkSessionReuse(b *testing.B) {
+	// The Session redesign's payoff: a stream of per-peer cost queries
+	// against one game, either through a reused Session (cached
+	// evaluator buffers, zero allocations per query) or through the
+	// one-shot facade function (a fresh evaluator per call, the
+	// pre-redesign shape).
+	r := selfishnet.NewRNG(42)
+	space, err := selfishnet.UniformPeers(r, 64, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	game, err := selfishnet.NewGame(space, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := selfishnet.RandomProfile(r, 64, 0.2)
+
+	b.Run("session", func(b *testing.B) {
+		s := selfishnet.NewSession(game)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.PeerCost(p, i%64)
+		}
+	})
+	b.Run("per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = selfishnet.PeerCost(game, p, i%64)
+		}
+	})
+}
+
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	r := selfishnet.NewRNG(2024)
 	space, err := selfishnet.UniformPeers(r, 8, 2)

@@ -1,29 +1,39 @@
 // Command topogame runs the reproduction experiments for "On the
 // Topologies Formed by Selfish Peers" (Moscibroda, Schmid, Wattenhofer;
-// PODC 2006) and prints their result tables.
+// PODC 2006) and executes declarative scenario specs and parameter
+// sweeps through the same engine.
 //
 // Usage:
 //
-//	topogame list                 # show available experiments
+//	topogame list                 # show catalog entries
 //	topogame run all              # run every experiment
 //	topogame run e4-poa e5-nonash # run selected experiments
 //	topogame run -quick -csv e1-upper
+//	topogame spec -emit e4-poa    # print a catalog entry as Spec JSON
+//	topogame spec workload.json   # run a declarative Spec (or "-": stdin)
+//	topogame sweep grid.json      # run a Sweep grid (α × n × seed × γ)
 //
-// Flags for run:
+// Flags for run/spec/sweep:
 //
 //	-quick  reduced sizes (~10× faster; smoke testing)
 //	-csv    emit CSV instead of aligned text
-//	-seed N deterministic seed (default 1)
-//	-par N  concurrent experiment runners (default 0 = all cores);
-//	        tables print in id order and are bit-identical at any N
+//	-json   emit JSON (machine-readable; run prints one array of
+//	        table objects, spec/sweep one table object)
+//	-seed N deterministic seed override (default: spec/flag default 1)
+//	-par N  concurrent runners / grid points (default 0 = all cores);
+//	        tables print in order and are bit-identical at any N
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"selfishnet/internal/experiments"
+	_ "selfishnet/internal/experiments" // register the 13 paper runners
+	"selfishnet/internal/export"
+	"selfishnet/internal/scenario"
 )
 
 func main() {
@@ -40,8 +50,8 @@ func run(args []string) error {
 	}
 	switch args[0] {
 	case "list":
-		for _, id := range experiments.IDs() {
-			desc, err := experiments.Describe(id)
+		for _, id := range scenario.IDs() {
+			desc, err := scenario.Describe(id)
 			if err != nil {
 				return err
 			}
@@ -50,6 +60,10 @@ func run(args []string) error {
 		return nil
 	case "run":
 		return runExperiments(args[1:])
+	case "spec":
+		return runSpec(args[1:])
+	case "sweep":
+		return runSweep(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -59,12 +73,38 @@ func run(args []string) error {
 	}
 }
 
+// outputFlags holds the shared rendering/execution flags.
+type outputFlags struct {
+	quick bool
+	csv   bool
+	json  bool
+	seed  uint64
+	par   int
+}
+
+func (o *outputFlags) register(fs *flag.FlagSet, seedDefault uint64) {
+	fs.BoolVar(&o.quick, "quick", false, "reduced experiment sizes")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of text tables")
+	fs.BoolVar(&o.json, "json", false, "emit JSON instead of text tables")
+	fs.Uint64Var(&o.seed, "seed", seedDefault, "random seed")
+	fs.IntVar(&o.par, "par", 0, "concurrent runners (0 = all cores, 1 = sequential)")
+}
+
+func (o *outputFlags) write(tb *export.Table, w io.Writer) error {
+	switch {
+	case o.json:
+		return tb.WriteJSON(w)
+	case o.csv:
+		return tb.WriteCSV(w)
+	default:
+		return tb.WriteText(w)
+	}
+}
+
 func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	quick := fs.Bool("quick", false, "reduced experiment sizes")
-	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
-	seed := fs.Uint64("seed", 1, "random seed")
-	par := fs.Int("par", 0, "concurrent experiment runners (0 = all cores, 1 = sequential)")
+	var out outputFlags
+	out.register(fs, scenario.DefaultSeed)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,25 +113,24 @@ func runExperiments(args []string) error {
 		return fmt.Errorf("no experiments given; try 'topogame run all'")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = experiments.IDs()
+		ids = scenario.IDs()
 	}
-	params := experiments.Params{Quick: *quick, Seed: *seed}
+	params := scenario.Params{Quick: out.quick, Seed: out.seed}
 	// Runners execute concurrently, but tables come back in id order and
 	// bit-identical to a sequential run, so the output is stable across
 	// -par values.
-	tables, err := experiments.RunAll(ids, params, *par)
+	tables, err := scenario.RunAll(ids, params, out.par)
 	if err != nil {
 		return err
 	}
+	if out.json {
+		// One JSON array for any id count, so stdout always parses as a
+		// single document.
+		return export.WriteJSONTables(os.Stdout, tables)
+	}
 	for i, tb := range tables {
-		if *csv {
-			if err := tb.WriteCSV(os.Stdout); err != nil {
-				return err
-			}
-		} else {
-			if err := tb.WriteText(os.Stdout); err != nil {
-				return err
-			}
+		if err := out.write(tb, os.Stdout); err != nil {
+			return err
 		}
 		if i+1 < len(ids) {
 			fmt.Println()
@@ -100,19 +139,121 @@ func runExperiments(args []string) error {
 	return nil
 }
 
+func runSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	var out outputFlags
+	// Seed 0 = "defer to the spec's own seed".
+	out.register(fs, 0)
+	emit := fs.String("emit", "", "print the catalog spec with this id as JSON and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *emit != "" {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("spec -emit takes no file argument (got %q)", fs.Arg(0))
+		}
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "emit" {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("spec -emit only prints the catalog spec; %s would be ignored", strings.Join(stray, " "))
+		}
+		spec, err := scenario.CatalogSpec(*emit)
+		if err != nil {
+			return err
+		}
+		return spec.WriteJSON(os.Stdout)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: topogame spec [flags] <file.json|->  (or -emit <id>)")
+	}
+	spec, err := readSpecArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tb, err := scenario.RunSpec(spec, scenario.Params{
+		Quick: out.quick, Seed: out.seed, Parallelism: out.par,
+	})
+	if err != nil {
+		return err
+	}
+	return out.write(tb, os.Stdout)
+}
+
+func readSpecArg(path string) (scenario.Spec, error) {
+	r, closer, err := openArg(path)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	defer closer()
+	return scenario.ReadSpec(r)
+}
+
+func openArg(path string) (io.Reader, func(), error) {
+	if path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var out outputFlags
+	out.register(fs, 0)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: topogame sweep [flags] <file.json|->")
+	}
+	r, closer, err := openArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closer()
+	sw, err := scenario.ReadSweep(r)
+	if err != nil {
+		return err
+	}
+	if out.seed != 0 {
+		// The seed axis owns per-point seeding; a -seed override replaces
+		// the base seed (and therefore a default single-point seed axis).
+		sw.Base.Seed = out.seed
+		if len(sw.Seeds) > 0 {
+			return fmt.Errorf("sweep file has a seeds axis; -seed would be ambiguous")
+		}
+	}
+	tb, err := sw.Run(scenario.Params{Quick: out.quick}, out.par)
+	if err != nil {
+		return err
+	}
+	return out.write(tb, os.Stdout)
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `topogame — experiments for "On the Topologies Formed by Selfish Peers"
 
 commands:
-  list                   list experiments with descriptions
-  run [flags] <ids|all>  run experiments and print tables
-  help                   show this help
+  list                     list catalog entries with descriptions
+  run [flags] <ids|all>    run experiments and print tables
+  spec [flags] <file|->    run a declarative Spec JSON (see -emit)
+  spec -emit <id>          print a catalog entry as Spec JSON
+  sweep [flags] <file|->   run a Sweep JSON grid (α × n × seed × γ)
+  help                     show this help
 
-run flags:
+flags (run/spec/sweep):
   -quick      reduced sizes (smoke test)
   -csv        CSV output
-  -seed N     deterministic seed (default 1)
-  -par N      concurrent runners (default 0 = all cores; output is
-              identical at any value)
+  -json       JSON output (machine-readable)
+  -seed N     deterministic seed override
+  -par N      concurrent runners / grid points (default 0 = all cores;
+              output is identical at any value)
 `)
 }

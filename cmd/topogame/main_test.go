@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -76,5 +79,130 @@ func TestTopogameParOutputIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("-par 1 and -par 8 outputs differ (%d vs %d bytes)", len(seq), len(par))
+	}
+}
+
+// TestTopogameRunJSON asserts the -json output of run is one JSON array
+// of table documents, parseable as a single document at any id count.
+func TestTopogameRunJSON(t *testing.T) {
+	type tableDoc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"run", "-quick", "-json", "e4-poa"})
+	})
+	var docs []tableDoc
+	if err := json.Unmarshal(out, &docs); err != nil {
+		t.Fatalf("run -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(docs) != 1 || docs[0].Title == "" || len(docs[0].Headers) == 0 || len(docs[0].Rows) == 0 {
+		t.Fatalf("run -json docs incomplete: %+v", docs)
+	}
+	multi := captureStdout(t, func() error {
+		return run([]string{"run", "-quick", "-json", "e4-poa", "e2-fig1"})
+	})
+	if err := json.Unmarshal(multi, &docs); err != nil {
+		t.Fatalf("multi-id run -json is not one JSON document: %v\n%s", err, multi)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("expected 2 table docs, got %d", len(docs))
+	}
+}
+
+// TestTopogameSpecRoundTrip pins the spec subcommand: a Spec emitted by
+// `spec -emit` feeds back into `spec <file>` and reproduces the
+// experiment's own table byte for byte; a declarative spec file runs
+// through the engine.
+func TestTopogameSpecRoundTrip(t *testing.T) {
+	emitted := captureStdout(t, func() error { return run([]string{"spec", "-emit", "e4-poa"}) })
+	if len(emitted) == 0 {
+		t.Fatal("spec -emit produced nothing")
+	}
+	specPath := filepath.Join(t.TempDir(), "e4.json")
+	if err := os.WriteFile(specPath, emitted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	viaSpec := captureStdout(t, func() error {
+		return run([]string{"spec", "-quick", "-csv", "-seed", "2", specPath})
+	})
+	viaRun := captureStdout(t, func() error {
+		return run([]string{"run", "-quick", "-csv", "-seed", "2", "e4-poa"})
+	})
+	if !bytes.Equal(viaSpec, viaRun) {
+		t.Fatalf("spec round-trip differs from direct run:\n%s\nvs\n%s", viaSpec, viaRun)
+	}
+
+	declarative := captureStdout(t, func() error {
+		return run([]string{"spec", "-csv", "testdata/spec_example.json"})
+	})
+	if !strings.HasPrefix(string(declarative), "n,alpha,gamma,seed,converged,links,social-cost,max-indegree,degree-gini") {
+		t.Fatalf("declarative spec output has wrong headers:\n%s", declarative)
+	}
+
+	if err := run([]string{"spec"}); err == nil {
+		t.Error("spec without a file should error")
+	}
+	if err := run([]string{"spec", "-emit", "nope"}); err == nil {
+		t.Error("spec -emit of unknown id should error")
+	}
+	if err := run([]string{"spec", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("spec with missing file should error")
+	}
+}
+
+// TestTopogameSweepWidthInvariant runs a 2×2 sweep grid at parallelism
+// 1 and 4 and asserts byte-identical tables — the CLI form of the
+// engine's width-invariance contract.
+func TestTopogameSweepWidthInvariant(t *testing.T) {
+	sweepJSON := `{
+		"name": "cli-2x2",
+		"base": {
+			"seed": 1,
+			"metric": {"family": "uniform", "n": 6},
+			"game": {"alpha": 2},
+			"dynamics": {"runs": 2},
+			"measures": ["converged", "links", "social-cost", "c-over-lb"]
+		},
+		"alphas": [1, 4],
+		"ns": [6, 8]
+	}`
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(sweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq := captureStdout(t, func() error { return run([]string{"sweep", "-csv", "-par", "1", path}) })
+	par := captureStdout(t, func() error { return run([]string{"sweep", "-csv", "-par", "4", path}) })
+	if len(seq) == 0 {
+		t.Fatal("no sweep output")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("sweep -par 1 and -par 4 differ:\n%s\nvs\n%s", seq, par)
+	}
+	// 2×2 grid → header + 4 rows.
+	if got := strings.Count(strings.TrimSpace(string(seq)), "\n"); got != 4 {
+		t.Fatalf("expected 4 data rows, got %d lines total:\n%s", got+1, seq)
+	}
+
+	if err := run([]string{"sweep"}); err == nil {
+		t.Error("sweep without a file should error")
+	}
+}
+
+// TestTopogameSweepSmoke runs the checked-in CI smoke grid.
+func TestTopogameSweepSmoke(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"sweep", "-quick", "-json", "testdata/sweep_smoke.json"})
+	})
+	var doc struct {
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("sweep -json invalid: %v\n%s", err, out)
+	}
+	if len(doc.Rows) != 2 {
+		t.Fatalf("smoke grid should have 2 points, got %d", len(doc.Rows))
 	}
 }

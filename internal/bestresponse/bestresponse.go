@@ -58,6 +58,11 @@ type Oracle interface {
 	// strategy of i is always a candidate, so the result never costs
 	// more than staying put.
 	BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error)
+	// Clone returns an independent oracle with the same configuration
+	// and fresh scratch state, so concurrent replica runs never share
+	// oracle-internal state (the deviation-oracle mirror of
+	// dynamics.Policy.Clone).
+	Clone() Oracle
 	// Name identifies the oracle in tables.
 	Name() string
 }
@@ -78,6 +83,10 @@ var _ Oracle = (*Exact)(nil)
 
 // Name returns "exact".
 func (*Exact) Name() string { return "exact" }
+
+// Clone returns an exact oracle with the same budget and fresh
+// evaluation statistics.
+func (o *Exact) Clone() Oracle { return &Exact{MaxEvaluations: o.MaxEvaluations} }
 
 // Evaluations returns how many candidate strategies the most recent
 // BestResponse call scored — the measure of what cardinality pruning
@@ -195,6 +204,9 @@ var _ Oracle = (*LocalSearch)(nil)
 // Name returns "local-search".
 func (*LocalSearch) Name() string { return "local-search" }
 
+// Clone returns a local-search oracle with the same iteration bound.
+func (o *LocalSearch) Clone() Oracle { return &LocalSearch{MaxIterations: o.MaxIterations} }
+
 // BestResponse implements Oracle via hill climbing.
 func (o *LocalSearch) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
 	inst := ev.Instance()
@@ -263,6 +275,9 @@ var _ Oracle = (*Greedy)(nil)
 
 // Name returns "greedy".
 func (*Greedy) Name() string { return "greedy" }
+
+// Clone returns a fresh greedy oracle (stateless).
+func (*Greedy) Clone() Oracle { return &Greedy{} }
 
 // BestResponse implements Oracle greedily.
 func (*Greedy) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {

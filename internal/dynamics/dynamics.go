@@ -414,15 +414,30 @@ func RandomProfile(r *rng.RNG, n int, q float64) core.Profile {
 	return p
 }
 
-// replicaRuns executes `runs` independent dynamics runs from random
-// starting profiles, fanning them across cfg.Parallelism workers with
-// one evaluator clone per goroutine. Determinism at every parallelism
-// width comes from two invariants: each replica's RNG stream and start
-// profile are drawn from r sequentially before any run begins (so the
-// parent stream advances exactly as in a sequential loop), and results
-// are collected into a slice indexed by replica so callers aggregate in
-// replica order. The returned error is the lowest-index replica failure,
-// matching what a sequential loop would have reported first.
+// Replicas executes `runs` independent dynamics runs from random
+// starting profiles of density linkProb, fanning them across
+// cfg.Parallelism workers with one evaluator clone per goroutine, and
+// returns the per-replica results in replica order. Converge and
+// WorstEquilibrium are aggregations over it; the scenario engine
+// consumes the raw slice to compute arbitrary measures.
+//
+// Determinism at every parallelism width comes from two invariants:
+// each replica's RNG stream and start profile are drawn from r
+// sequentially before any run begins (so the parent stream advances
+// exactly as in a sequential loop), and results are collected into a
+// slice indexed by replica so callers aggregate in replica order. The
+// returned error is the lowest-index replica failure, matching what a
+// sequential loop would have reported first.
+func Replicas(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("dynamics: runs = %d, want > 0", runs)
+	}
+	if r == nil {
+		return nil, errors.New("dynamics: Replicas needs an RNG")
+	}
+	return replicaRuns(ev, cfg, runs, linkProb, r)
+}
+
 func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
 	n := ev.Instance().N()
 	type replica struct {
@@ -437,6 +452,12 @@ func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *
 			// Stateful policies (e.g. RoundRobin's scan pointer) must
 			// not be shared across concurrent replicas.
 			runCfg.Policy = runCfg.Policy.Clone()
+		}
+		if runCfg.Oracle != nil {
+			// Likewise for oracles: the exact oracle keeps evaluation
+			// statistics, so a caller-supplied instance must not be
+			// shared across concurrent replicas.
+			runCfg.Oracle = runCfg.Oracle.Clone()
 		}
 		reps[k] = replica{cfg: runCfg, start: RandomProfile(r, n, linkProb)}
 	}
@@ -547,6 +568,16 @@ func WorstEquilibrium(ev *core.Evaluator, cfg Config, runs int, linkProb float64
 	if err != nil {
 		return core.Profile{}, core.Cost{}, 0, false, err
 	}
+	worst, cost, converged, ok = WorstConverged(ev, results)
+	return worst, cost, converged, ok, nil
+}
+
+// WorstConverged scans replica results in order and returns the
+// converged final profile with the highest social cost (the earliest on
+// ties — the Price-of-Anarchy selection convention shared by
+// WorstEquilibrium and the scenario engine), its cost, and how many
+// results converged. ok is false when none did.
+func WorstConverged(ev *core.Evaluator, results []Result) (worst core.Profile, cost core.Cost, converged int, ok bool) {
 	worstCost := math.Inf(-1)
 	for _, res := range results {
 		if !res.Converged {
@@ -561,5 +592,5 @@ func WorstEquilibrium(ev *core.Evaluator, cfg Config, runs int, linkProb float64
 			ok = true
 		}
 	}
-	return worst, cost, converged, ok, nil
+	return worst, cost, converged, ok
 }

@@ -6,164 +6,70 @@
 //
 // Every runner is deterministic given its Params (explicit seeds, no
 // wall-clock), so tables regenerate bit-identically. That determinism is
-// what lets RunAll execute runners concurrently while guaranteeing the
-// exported tables match a sequential run byte for byte.
+// what lets the engine execute runners concurrently while guaranteeing
+// the exported tables match a sequential run byte for byte.
+//
+// The runners register as native entries in the internal/scenario
+// catalog at init; this package's Run/RunAll/IDs/Describe are thin
+// wrappers kept for compatibility, and the scenario spec engine is the
+// canonical way to execute them (a Spec with "experiment": "<id>").
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
-
 	"selfishnet/internal/export"
+	"selfishnet/internal/scenario"
 )
+
+// Params tunes experiment scale (an alias of scenario.Params, the
+// single home of the Seed-default and parallel-budget conventions). The
+// zero value means "paper defaults"; Quick trims sizes for smoke tests
+// and benchmarks; Parallelism is a runner's internal fan-out budget and
+// never changes results.
+type Params = scenario.Params
 
 // Runner produces one experiment's table.
 type Runner func(Params) (*export.Table, error)
 
-// Params tunes experiment scale. The zero value means "paper defaults";
-// Quick trims sizes for smoke tests and benchmarks.
-type Params struct {
-	// Seed drives all randomness (default 1).
-	Seed uint64
-	// Quick reduces instance sizes and run counts (~10× faster), for
-	// benchmarks and CI smoke tests.
-	Quick bool
-	// Parallelism is the worker budget a runner may use for its own
-	// internal fan-outs (replica runs, pooled evaluations); it never
-	// changes results, only wall-clock. 0 means all cores. RunAll
-	// divides its budget across concurrent runners so nested fan-outs
-	// do not oversubscribe the CPU.
-	Parallelism int
-}
-
-func (p Params) seed() uint64 {
-	if p.Seed == 0 {
-		return 1
+// register declares the 13 paper runners as native scenario-catalog
+// entries. The catalog is the registry of record; everything in this
+// package delegates to it.
+func init() {
+	for _, e := range []struct {
+		id     string
+		runner Runner
+		desc   string
+	}{
+		{"e1-upper", E1Upper, "Theorem 4.1: max stretch ≤ α+1 in Nash equilibria; PoA within O(min(α,n))"},
+		{"e2-fig1", E2Figure1, "Figure 1 + Lemma 4.2: the lower-bound topology is Nash for α ≥ 3.4"},
+		{"e3-cost", E3CostScaling, "Lemma 4.3: C_S(G) ∈ Θ(αn²), C_E(G) ∈ Θ(αn) growth-exponent fits"},
+		{"e4-poa", E4PriceOfAnarchy, "Theorem 4.4: Price of Anarchy of the Figure 1 family is Θ(min(α,n))"},
+		{"e5-nonash", E5NoNash, "Theorem 5.1: I_k has no pure Nash equilibrium; dynamics never stabilize"},
+		{"e6-cycle", E6CandidateCycle, "Figure 3: the six candidates and the best-response cycle 1→3→4→2→1"},
+		{"e7-tulip", E7SqrtRegime, "Footnote 2: α = Θ(√n) regime, locality-aware O(√n)-degree overlays"},
+		{"e8-dyn", E8Convergence, "Section 5 context: convergence of BR dynamics on random metrics"},
+		{"e9-churn", E9Churn, "Extension: overlay simulation under churn, selfish vs structured repair"},
+		{"e10-baseline", E10Baselines, "Related work: same peers under stretch, Fabrikant and bilateral games"},
+		{"e11-exact", E11Landscape, "Extension: exact equilibrium landscape (PoS and PoA) on tiny instances"},
+		{"e12-oracle", E12Oracles, "Ablation: heuristic oracles vs the exact best response; pruning effectiveness"},
+		{"e13-congest", E13Congestion, "Extension (§6): congestion-aware links — equilibria avoid hubs as γ grows"},
+	} {
+		scenario.RegisterNative(e.id, e.desc, scenario.Native(e.runner))
 	}
-	return p.Seed
-}
-
-// registry maps experiment IDs to runners.
-var registry = map[string]struct {
-	runner Runner
-	desc   string
-}{
-	"e1-upper":     {E1Upper, "Theorem 4.1: max stretch ≤ α+1 in Nash equilibria; PoA within O(min(α,n))"},
-	"e2-fig1":      {E2Figure1, "Figure 1 + Lemma 4.2: the lower-bound topology is Nash for α ≥ 3.4"},
-	"e3-cost":      {E3CostScaling, "Lemma 4.3: C_S(G) ∈ Θ(αn²), C_E(G) ∈ Θ(αn) growth-exponent fits"},
-	"e4-poa":       {E4PriceOfAnarchy, "Theorem 4.4: Price of Anarchy of the Figure 1 family is Θ(min(α,n))"},
-	"e5-nonash":    {E5NoNash, "Theorem 5.1: I_k has no pure Nash equilibrium; dynamics never stabilize"},
-	"e6-cycle":     {E6CandidateCycle, "Figure 3: the six candidates and the best-response cycle 1→3→4→2→1"},
-	"e7-tulip":     {E7SqrtRegime, "Footnote 2: α = Θ(√n) regime, locality-aware O(√n)-degree overlays"},
-	"e8-dyn":       {E8Convergence, "Section 5 context: convergence of BR dynamics on random metrics"},
-	"e9-churn":     {E9Churn, "Extension: overlay simulation under churn, selfish vs structured repair"},
-	"e10-baseline": {E10Baselines, "Related work: same peers under stretch, Fabrikant and bilateral games"},
-	"e11-exact":    {E11Landscape, "Extension: exact equilibrium landscape (PoS and PoA) on tiny instances"},
-	"e12-oracle":   {E12Oracles, "Ablation: heuristic oracles vs the exact best response; pruning effectiveness"},
-	"e13-congest":  {E13Congestion, "Extension (§6): congestion-aware links — equilibria avoid hubs as γ grows"},
 }
 
 // IDs returns the experiment identifiers in sorted order.
-func IDs() []string {
-	out := make([]string, 0, len(registry))
-	for id := range registry {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func IDs() []string { return scenario.IDs() }
 
 // Describe returns the one-line description of an experiment.
-func Describe(id string) (string, error) {
-	e, ok := registry[id]
-	if !ok {
-		return "", fmt.Errorf("experiments: unknown experiment %q", id)
-	}
-	return e.desc, nil
-}
+func Describe(id string) (string, error) { return scenario.Describe(id) }
 
-// Run executes the experiment with the given ID.
-func Run(id string, p Params) (*export.Table, error) {
-	e, ok := registry[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
-	}
-	return e.runner(p)
-}
+// Run executes the experiment with the given ID through the scenario
+// spec engine.
+func Run(id string, p Params) (*export.Table, error) { return scenario.Run(id, p) }
 
 // RunAll executes the given experiments concurrently and returns their
-// tables in input order. nil (or empty) ids selects every registered
-// experiment in sorted-ID order. parallelism bounds how many runners
-// execute at once: 0 selects runtime.GOMAXPROCS(0), 1 forces sequential
-// execution.
-//
-// Every runner derives all randomness from Params (explicit seeds, no
-// wall clock or shared state), so each table — and therefore the whole
-// result slice — is bit-identical at any parallelism, including 1. When
-// runners fail, the error of the earliest failing id is returned (what
-// a sequential loop would have reported first); tables of successful
-// runners are still filled in.
+// tables in input order; see scenario.RunAll for the determinism and
+// budget-splitting contract.
 func RunAll(ids []string, p Params, parallelism int) ([]*export.Table, error) {
-	if len(ids) == 0 {
-		ids = IDs()
-	}
-	for _, id := range ids {
-		if _, ok := registry[id]; !ok {
-			return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
-		}
-	}
-	requested := parallelism
-	if requested <= 0 {
-		requested = runtime.GOMAXPROCS(0)
-	}
-	workers := requested
-	if workers > len(ids) {
-		workers = len(ids)
-	}
-	// Split the budget: runner-level fan-out gets `workers` goroutines,
-	// and each runner may internally use the remaining width. A single
-	// experiment keeps the whole budget (so `-par 8 e8-dyn` fans its
-	// replicas 8-wide); 13 concurrent runners on 8 cores each run their
-	// replicas sequentially. An explicit caller-set Params.Parallelism
-	// is respected as-is.
-	if p.Parallelism == 0 {
-		p.Parallelism = requested / workers
-		if p.Parallelism < 1 {
-			p.Parallelism = 1
-		}
-	}
-
-	tables := make([]*export.Table, len(ids))
-	errs := make([]error, len(ids))
-	if workers == 1 {
-		for i, id := range ids {
-			tables[i], errs[i] = Run(id, p)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(ids) {
-						return
-					}
-					tables[i], errs[i] = Run(ids[i], p)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return tables, fmt.Errorf("%s: %w", ids[i], err)
-		}
-	}
-	return tables, nil
+	return scenario.RunAll(ids, p, parallelism)
 }

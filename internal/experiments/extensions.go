@@ -100,7 +100,7 @@ func E12Oracles(p Params) (*export.Table, error) {
 		Headers: []string{"alpha", "oracle", "trials", "exact-hits", "mean-gap%", "max-gap%", "evals/exact-call", "unpruned"},
 	}
 	for _, alpha := range alphas {
-		r := rng.New(p.seed() + uint64(alpha))
+		r := rng.New(p.EffectiveSeed() + uint64(alpha))
 		space, err := metric.UniformPoints(r, n, 2)
 		if err != nil {
 			return nil, err
@@ -190,7 +190,7 @@ func E13Congestion(p Params) (*export.Table, error) {
 		Headers: []string{"gamma", "runs", "links(mean)", "max-indeg(mean)", "degree-gini(mean)", "mean-stretch", "max-stretch"},
 	}
 	for _, gamma := range gammas {
-		r := rng.New(p.seed() + 17)
+		r := rng.New(p.EffectiveSeed() + 17)
 		space, err := metric.UniformPoints(r, n, 2)
 		if err != nil {
 			return nil, err

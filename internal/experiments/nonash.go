@@ -51,7 +51,7 @@ func E5NoNash(p Params) (*export.Table, error) {
 				cycleLenSum += res.CycleLength
 			}
 		}
-		r := rng.New(p.seed() + uint64(k))
+		r := rng.New(p.EffectiveSeed() + uint64(k))
 		for t := 0; t < randomStarts; t++ {
 			start := dynamics.RandomProfile(r, ik.Instance.N(), r.Range(0.1, 0.5))
 			res, err := dynamics.Run(ev, start, dynamics.Config{
@@ -179,7 +179,7 @@ func E8Convergence(p Params) (*export.Table, error) {
 	}
 	for _, alpha := range alphas {
 		for _, pol := range policies {
-			r := rng.New(p.seed() + uint64(alpha*7))
+			r := rng.New(p.EffectiveSeed() + uint64(alpha*7))
 			space, err := metricUniform(r, n)
 			if err != nil {
 				return nil, err

@@ -35,7 +35,7 @@ func E7SqrtRegime(p Params) (*export.Table, error) {
 		Headers: []string{"n", "alpha=√n", "topology", "C/LB", "max-degree", "max-stretch"},
 	}
 	for _, n := range ns {
-		r := rng.New(p.seed() + uint64(n))
+		r := rng.New(p.EffectiveSeed() + uint64(n))
 		space, err := metricUniform(r, n)
 		if err != nil {
 			return nil, err
@@ -88,7 +88,7 @@ func E9Churn(p Params) (*export.Table, error) {
 		n = 12
 		duration = 60
 	}
-	r := rng.New(p.seed())
+	r := rng.New(p.EffectiveSeed())
 	space, err := metric.ClusteredRandom(r, n, 3, 0.02)
 	if err != nil {
 		return nil, err
@@ -142,7 +142,7 @@ func E9Churn(p Params) (*export.Table, error) {
 					PingInterval: 5,
 					ChurnRate:    churn,
 					Repair:       rep,
-					Seed:         p.seed() + 99,
+					Seed:         p.EffectiveSeed() + 99,
 				})
 				if err != nil {
 					return nil, err
@@ -195,7 +195,7 @@ func E10Baselines(p Params) (*export.Table, error) {
 	if p.Quick {
 		n = 8
 	}
-	r := rng.New(p.seed())
+	r := rng.New(p.EffectiveSeed())
 	space, err := metricUniform(r, n)
 	if err != nil {
 		return nil, err

@@ -30,7 +30,7 @@ func E1Upper(p Params) (*export.Table, error) {
 		alphas = []float64{2, 8}
 		runs = 3
 	}
-	r := rng.New(p.seed())
+	r := rng.New(p.EffectiveSeed())
 	tb := &export.Table{
 		Title:   "E1 (Theorem 4.1): Nash equilibria respect stretch ≤ α+1 and PoA = O(min(α,n))",
 		Headers: []string{"n", "alpha", "equilibria", "max-stretch", "alpha+1", "worst C/LB", "min(alpha,n)", "bound-ok"},

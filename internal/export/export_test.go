@@ -1,6 +1,7 @@
 package export
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -44,6 +45,50 @@ func TestTableTextRowMismatch(t *testing.T) {
 	}
 	if err := tb.WriteCSV(&sb); err == nil {
 		t.Error("CSV row length mismatch should error")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"n", "alpha"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("5", "3.4000")
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "demo" || len(doc.Headers) != 2 || len(doc.Rows) != 1 || len(doc.Notes) != 1 {
+		t.Fatalf("decoded doc = %+v", doc)
+	}
+	if doc.Rows[0][1] != "3.4000" {
+		t.Fatalf("cell mismatch: %v", doc.Rows[0])
+	}
+
+	// Empty tables keep "rows" as [] (not null) for consumers.
+	empty := &Table{Headers: []string{"x"}}
+	sb.Reset()
+	if err := empty.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"rows": []`) {
+		t.Errorf("empty rows should serialize as []:\n%s", sb.String())
+	}
+
+	bad := &Table{Headers: []string{"a", "b"}}
+	bad.AddRow("only-one")
+	if err := bad.WriteJSON(&sb); err == nil {
+		t.Error("JSON row length mismatch should error")
 	}
 }
 

@@ -5,6 +5,7 @@
 package export
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -108,6 +109,58 @@ func (t *Table) Text() string {
 	// strings.Builder writes never fail.
 	_ = t.WriteText(&sb)
 	return sb.String()
+}
+
+// tableDoc is the JSON form of a Table.
+type tableDoc struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// jsonDoc validates row widths (like WriteCSV) and builds the JSON
+// document, with nil rows normalized to [] for consumers.
+func (t *Table) jsonDoc() (tableDoc, error) {
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return tableDoc{}, fmt.Errorf("export: row has %d cells, want %d", len(row), len(t.Headers))
+		}
+	}
+	doc := tableDoc{t.Title, t.Headers, t.Rows, t.Notes}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	return doc, nil
+}
+
+// WriteJSON renders the table as an indented JSON object
+// {"title", "headers", "rows", "notes"} — the machine-readable form for
+// sweep post-processing.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc, err := t.jsonDoc()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteJSONTables renders several tables as one indented JSON array, so
+// multi-experiment output stays parseable as a single document.
+func WriteJSONTables(w io.Writer, tables []*Table) error {
+	docs := make([]tableDoc, len(tables))
+	for i, t := range tables {
+		doc, err := t.jsonDoc()
+		if err != nil {
+			return err
+		}
+		docs[i] = doc
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
 }
 
 // WriteCSV renders the table as RFC-4180 CSV (headers first).

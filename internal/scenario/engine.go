@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"selfishnet/internal/analysis"
+	"selfishnet/internal/core"
+	"selfishnet/internal/dynamics"
+	"selfishnet/internal/export"
+	"selfishnet/internal/nash"
+	"selfishnet/internal/opt"
+	"selfishnet/internal/rng"
+)
+
+// nonEquilibriumNote warns that a single dynamics run hit its step
+// budget: the profile measures then describe the final (cut-off)
+// profile, not an equilibrium.
+const nonEquilibriumNote = "single run did not converge: profile measures report the final (non-equilibrium) profile"
+
+// DefaultMeasures are the columns recorded when a spec lists none.
+var DefaultMeasures = []string{
+	"converged", "mean-steps", "links", "social-cost", "max-stretch", "c-over-lb",
+}
+
+// measureNames lists every measure the engine can record, in canonical
+// order. Run measures summarize the dynamics replicas; profile measures
+// evaluate the selected final profile (the worst converged equilibrium
+// for multi-replica runs, the Price-of-Anarchy convention).
+var measureNames = []string{
+	"runs", "converged", "cycles", "mean-steps",
+	"social-cost", "link-cost", "stretch-cost", "c-over-lb",
+	"links", "max-stretch", "mean-stretch",
+	"nash", "max-indegree", "degree-gini",
+}
+
+// MeasureNames returns the known measure names in canonical order.
+func MeasureNames() []string {
+	return append([]string(nil), measureNames...)
+}
+
+// KnownMeasure reports whether name is a measure the engine records.
+func KnownMeasure(name string) bool {
+	for _, m := range measureNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// outcome is the engine's view of one executed declarative spec, with
+// lazy caches so each expensive quantity is computed at most once no
+// matter how many measures reference it.
+type outcome struct {
+	spec    Spec
+	seed    uint64
+	inst    *core.Instance
+	ev      *core.Evaluator
+	results []dynamics.Result
+	// chosen is the profile the profile-valued measures evaluate: the
+	// single run's final for Runs ≤ 1, else the worst converged
+	// equilibrium in replica order. chosenOK is false when no replica
+	// converged in multi-replica mode. nonEquilibrium flags a single
+	// run that did not converge, so tables can warn that the profile
+	// measures describe a cut-off state rather than an equilibrium.
+	chosen         core.Profile
+	chosenOK       bool
+	nonEquilibrium bool
+
+	social *core.Cost
+	stats  *analysis.TopologyStats
+}
+
+func (o *outcome) socialCost() core.Cost {
+	if o.social == nil {
+		c := o.ev.SocialCost(o.chosen)
+		o.social = &c
+	}
+	return *o.social
+}
+
+func (o *outcome) topoStats() (analysis.TopologyStats, error) {
+	if o.stats == nil {
+		st, err := analysis.Analyze(o.ev, o.chosen)
+		if err != nil {
+			return analysis.TopologyStats{}, err
+		}
+		o.stats = &st
+	}
+	return *o.stats, nil
+}
+
+// runDeclarative executes a validated declarative spec. parallelism is
+// the internal replica fan-out width (0 = all cores); it never changes
+// the outcome, only wall-clock.
+func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
+	seed := EffectiveSeed(spec.Seed)
+	r := rng.New(seed)
+	inst, err := spec.Instance(r)
+	if err != nil {
+		return nil, err
+	}
+	ev := core.NewEvaluator(inst)
+
+	runs := spec.Dynamics.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	maxSteps := spec.Dynamics.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 5000
+	}
+	if spec.Quick {
+		if runs > 2 {
+			runs = 2
+		}
+		if maxSteps > 1500 {
+			maxSteps = 1500
+		}
+	}
+	policy, err := PolicyByName(spec.Dynamics.Policy)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := OracleByName(spec.Dynamics.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dynamics.Config{
+		Oracle:       oracle,
+		Policy:       policy,
+		Tol:          spec.Dynamics.Tol,
+		MaxSteps:     maxSteps,
+		DetectCycles: spec.Dynamics.DetectCycles,
+		Parallelism:  parallelism,
+	}
+
+	out := &outcome{spec: spec, seed: seed, inst: inst, ev: ev}
+	if runs == 1 {
+		start, err := spec.Start.Build(inst.N(), r)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Rand = r.Split()
+		res, err := dynamics.Run(ev, start, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.results = []dynamics.Result{res}
+		out.chosen = res.Final
+		out.chosenOK = true
+		out.nonEquilibrium = !res.Converged
+		return out, nil
+	}
+
+	// Replica mode: Start is ignored; runs start from random profiles of
+	// density LinkProb, exactly like the Converge/WorstEquilibrium
+	// drivers (bit-identical at every parallelism width).
+	linkProb := spec.Dynamics.LinkProb
+	if linkProb == 0 {
+		linkProb = 0.3
+	}
+	results, err := dynamics.Replicas(ev, cfg, runs, linkProb, r)
+	if err != nil {
+		return nil, err
+	}
+	out.results = results
+	if worst, cost, _, ok := dynamics.WorstConverged(ev, results); ok {
+		out.chosen = worst
+		out.chosenOK = true
+		out.social = &cost // cache: the cost measures reuse it
+	}
+	return out, nil
+}
+
+// measureCell renders one measure of an executed spec as a table cell.
+// Profile measures render "-" when no replica converged.
+func (o *outcome) measureCell(name string) (string, error) {
+	switch name {
+	case "runs":
+		return export.Int(len(o.results)), nil
+	case "converged":
+		n := 0
+		for _, res := range o.results {
+			if res.Converged {
+				n++
+			}
+		}
+		return export.Int(n), nil
+	case "cycles":
+		n := 0
+		for _, res := range o.results {
+			if res.CycleDetected {
+				n++
+			}
+		}
+		return export.Int(n), nil
+	case "mean-steps":
+		sum, n := 0, 0
+		for _, res := range o.results {
+			if res.Converged {
+				sum += res.Steps
+				n++
+			}
+		}
+		if n == 0 {
+			return "-", nil
+		}
+		return export.Num(float64(sum) / float64(n)), nil
+	}
+	// Everything below evaluates the chosen profile.
+	if !o.chosenOK {
+		return "-", nil
+	}
+	switch name {
+	case "social-cost":
+		return export.Num(o.socialCost().Total()), nil
+	case "link-cost":
+		return export.Num(o.socialCost().Link), nil
+	case "stretch-cost":
+		return export.Num(o.socialCost().Term), nil
+	case "c-over-lb":
+		return export.Num(o.socialCost().Total() / opt.LowerBound(o.inst)), nil
+	case "links":
+		return export.Int(o.chosen.LinkCount()), nil
+	case "max-stretch":
+		return export.Num(o.ev.MaxTerm(o.chosen)), nil
+	case "mean-stretch":
+		st, err := o.topoStats()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(st.Stretch.Mean), nil
+	case "nash":
+		ok, err := nash.IsNash(o.ev, o.chosen)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", ok), nil
+	case "max-indegree":
+		st, err := o.topoStats()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(st.InDegree.Max), nil
+	case "degree-gini":
+		st, err := o.topoStats()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(st.DegreeGini), nil
+	default:
+		return "", fmt.Errorf("scenario: unknown measure %q", name)
+	}
+}
+
+// effectiveMeasures returns the spec's measure list or the default.
+func effectiveMeasures(spec Spec) []string {
+	if len(spec.Measures) > 0 {
+		return spec.Measures
+	}
+	return DefaultMeasures
+}
+
+// specHeaders are the identity columns prepended to every declarative
+// table: they make each row self-describing, and sweeps grid over them.
+func specHeaders(measures []string) []string {
+	return append([]string{"n", "alpha", "gamma", "seed"}, measures...)
+}
+
+// row renders the outcome as one table row under specHeaders.
+func (o *outcome) row(measures []string) ([]string, error) {
+	cells := []string{
+		export.Int(o.inst.N()),
+		export.Num(o.spec.Game.Alpha),
+		export.Num(o.spec.Game.Gamma),
+		strconv.FormatUint(o.seed, 10),
+	}
+	for _, m := range measures {
+		cell, err := o.measureCell(m)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// RunSpec executes a spec and renders its table: a native experiment
+// spec routes to the registered runner, a declarative spec runs through
+// the generic engine and produces a one-row table. Params.Seed (when
+// non-zero) and Params.Quick override the spec's own fields;
+// Params.Parallelism is the internal fan-out width and never changes
+// results.
+func RunSpec(spec Spec, p Params) (*export.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eff := spec
+	if p.Seed != 0 {
+		eff.Seed = p.Seed
+	}
+	if p.Quick {
+		eff.Quick = true
+	}
+	if eff.Experiment != "" {
+		native, err := nativeRunner(eff.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		return native(Params{Seed: eff.Seed, Quick: eff.Quick, Parallelism: p.Parallelism})
+	}
+	out, err := runDeclarative(eff, p.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	measures := effectiveMeasures(eff)
+	title := eff.Name
+	if title == "" {
+		title = fmt.Sprintf("scenario: %s n=%d α=%v", eff.Metric.Family, eff.Metric.PeerCount(), eff.Game.Alpha)
+	}
+	tb := &export.Table{Title: title, Headers: specHeaders(measures)}
+	row, err := out.row(measures)
+	if err != nil {
+		return nil, err
+	}
+	tb.Rows = append(tb.Rows, row)
+	if eff.Description != "" {
+		tb.Notes = append(tb.Notes, eff.Description)
+	}
+	if out.nonEquilibrium {
+		tb.Notes = append(tb.Notes, nonEquilibriumNote)
+	}
+	return tb, nil
+}

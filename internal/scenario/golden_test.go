@@ -1,0 +1,59 @@
+package scenario_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	_ "selfishnet/internal/experiments" // register the 13 native runners
+	"selfishnet/internal/scenario"
+)
+
+// TestGoldenPaperTables is the API-redesign safety net: the 13 paper
+// experiments, executed through the scenario spec engine, must render
+// byte-identically to the tables captured from the pre-redesign harness
+// (testdata/golden_quick_seed1.csv, the output of
+// `topogame run -quick -csv -seed 1 -par 1 all` at the old API).
+func TestGoldenPaperTables(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_quick_seed1.csv")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	ids := scenario.IDs()
+	if len(ids) != 13 {
+		t.Fatalf("catalog has %d entries, want the 13 paper experiments: %v", len(ids), ids)
+	}
+	tables, err := scenario.RunAll(nil, scenario.Params{Quick: true, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	for i, tb := range tables {
+		if err := tb.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 < len(tables) {
+			got.WriteByte('\n')
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < got.Len() && want[i] == got.Bytes()[i] {
+			i++
+		}
+		t.Fatalf("spec-engine tables diverge from the pre-redesign golden near byte %d\n"+
+			"golden context: %q\ngot context: %q",
+			i, context(want, i), context(got.Bytes(), i))
+	}
+}
+
+func context(b []byte, i int) []byte {
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return b[lo:hi]
+}

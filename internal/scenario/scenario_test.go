@@ -1,0 +1,397 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"selfishnet/internal/rng"
+)
+
+func declSpec() Spec {
+	return Spec{
+		Name:        "unit-decl",
+		Description: "declarative unit spec",
+		Seed:        7,
+		Metric:      MetricSpec{Family: "uniform", N: 8, Dim: 2},
+		Game:        GameSpec{Alpha: 2},
+		Start:       StartSpec{Kind: "random", Q: 0.25},
+		Dynamics:    DynamicsSpec{Policy: "round-robin", MaxSteps: 4000},
+		Measures:    []string{"converged", "mean-steps", "links"},
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := declSpec()
+	spec.Measures = []string{"converged", "mean-steps", "links"}
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("round-trip decode: %v\njson: %s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestSpecJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader(`{"metric":{"family":"uniform","n":4},"game":{"alpha":1},"frobnicate":1}`)); err == nil {
+		t.Fatal("unknown top-level field should be rejected")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"metric":{"family":"uniform","n":4,"warp":9},"game":{"alpha":1}}`)); err == nil {
+		t.Fatal("unknown nested field should be rejected")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"missing metric", func(s *Spec) { s.Metric = MetricSpec{} }},
+		{"unknown family", func(s *Spec) { s.Metric.Family = "hyperbolic" }},
+		{"too few peers", func(s *Spec) { s.Metric.N = 1 }},
+		{"negative alpha", func(s *Spec) { s.Game.Alpha = -1 }},
+		{"unknown model", func(s *Spec) { s.Game.Model = "quadratic" }},
+		{"unknown policy", func(s *Spec) { s.Dynamics.Policy = "chaotic" }},
+		{"unknown oracle", func(s *Spec) { s.Dynamics.Oracle = "psychic" }},
+		{"unknown start", func(s *Spec) { s.Start.Kind = "torus" }},
+		{"unknown measure", func(s *Spec) { s.Measures = []string{"vibes"} }},
+		{"experiment plus declarative", func(s *Spec) { s.Experiment = "e4-poa" }},
+		{"experiment plus game", func(s *Spec) {
+			*s = Spec{Experiment: "e4-poa", Game: GameSpec{Alpha: 9}}
+		}},
+		{"experiment plus dynamics", func(s *Spec) {
+			*s = Spec{Experiment: "e4-poa", Dynamics: DynamicsSpec{Runs: 20}}
+		}},
+		{"start alongside replicas", func(s *Spec) { s.Dynamics.Runs = 5 }},
+		{"link_prob without replicas", func(s *Spec) {
+			s.Start = StartSpec{}
+			s.Dynamics.LinkProb = 0.6
+		}},
+	}
+	for _, tc := range cases {
+		spec := declSpec()
+		spec.Measures = nil
+		tc.mut(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, spec)
+		}
+	}
+	good := declSpec()
+	good.Measures = []string{"converged", "mean-steps"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	// Empty-but-present JSON collections on an experiment spec must not
+	// trip the ignored-fields check (nil vs empty slice).
+	if _, err := ReadSpec(strings.NewReader(`{"experiment":"e4-poa","measures":[]}`)); err != nil {
+		t.Errorf("experiment spec with empty measures rejected: %v", err)
+	}
+}
+
+// renderSpec runs the spec and renders its table to CSV bytes.
+func renderSpec(t *testing.T, spec Spec, p Params) []byte {
+	t.Helper()
+	tb, err := RunSpec(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunSpecDeterministicAndWidthInvariant(t *testing.T) {
+	spec := declSpec()
+	spec.Measures = nil      // default measures
+	spec.Start = StartSpec{} // replica mode draws its own random starts
+	spec.Dynamics.Runs = 4
+	base := renderSpec(t, spec, Params{Parallelism: 1})
+	if again := renderSpec(t, spec, Params{Parallelism: 1}); !bytes.Equal(base, again) {
+		t.Fatal("same spec produced different tables on re-run")
+	}
+	if wide := renderSpec(t, spec, Params{Parallelism: 4}); !bytes.Equal(base, wide) {
+		t.Fatalf("parallelism changed the table:\n par1: %s\n par4: %s", base, wide)
+	}
+}
+
+func TestRunSpecAllMeasures(t *testing.T) {
+	spec := declSpec()
+	spec.Measures = MeasureNames()
+	spec.Start = StartSpec{}
+	spec.Dynamics.Runs = 3
+	tb, err := RunSpec(spec, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Headers) != 4+len(measureNames) {
+		t.Fatalf("headers = %v", tb.Headers)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != len(tb.Headers) {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	for i, cell := range tb.Rows[0] {
+		if cell == "" {
+			t.Errorf("empty cell for column %q", tb.Headers[i])
+		}
+	}
+}
+
+func TestRunSpecParamOverrides(t *testing.T) {
+	spec := declSpec()
+	spec.Measures = []string{"links"}
+	a := renderSpec(t, spec, Params{})
+	b := renderSpec(t, spec, Params{Seed: 99})
+	if bytes.Equal(a, b) {
+		t.Fatal("Params.Seed override had no effect")
+	}
+	c := renderSpec(t, spec, Params{Seed: spec.Seed})
+	if !bytes.Equal(a, c) {
+		t.Fatal("explicit Params.Seed equal to the spec seed changed the table")
+	}
+}
+
+// TestFamilyAndStartListsMatchBuild ties the validation maps to the
+// Build switches: every listed name must build, and names outside the
+// lists must be rejected by Build too, so the two cannot drift apart.
+func TestFamilyAndStartListsMatchBuild(t *testing.T) {
+	buildable := map[string]MetricSpec{
+		"uniform":   {Family: "uniform", N: 4},
+		"clustered": {Family: "clustered", N: 6},
+		"line":      {Family: "line", Positions: []float64{0, 1, 3}},
+		"exp-line":  {Family: "exp-line", N: 4},
+		"ring":      {Family: "ring", N: 5},
+		"grid":      {Family: "grid", Rows: 2, Cols: 2},
+		"points":    {Family: "points", Points: [][]float64{{0, 0}, {1, 1}}},
+	}
+	for family := range validFamilies {
+		m, ok := buildable[family]
+		if !ok {
+			t.Errorf("validFamilies lists %q but this test has no build case; add one", family)
+			continue
+		}
+		if _, err := m.Build(rng.New(1), 4); err != nil {
+			t.Errorf("family %q is validated but does not build: %v", family, err)
+		}
+	}
+	for family := range buildable {
+		if !validFamilies[family] {
+			t.Errorf("family %q builds but validFamilies rejects it", family)
+		}
+	}
+	if _, err := (MetricSpec{Family: "bogus", N: 4}).Build(rng.New(1), 4); err == nil {
+		t.Error("unknown family must fail Build")
+	}
+
+	for kind := range validStartKinds {
+		s := StartSpec{Kind: kind}
+		if kind == "links" {
+			s.Links = [][2]int{{0, 1}}
+		}
+		if _, err := s.Build(4, rng.New(1)); err != nil {
+			t.Errorf("start kind %q is validated but does not build: %v", kind, err)
+		}
+	}
+	if _, err := (StartSpec{Kind: "bogus"}).Build(4, rng.New(1)); err == nil {
+		t.Error("unknown start kind must fail Build")
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		requested, tasks, explicit int
+		workers, inner             int
+	}{
+		{0, 0, 0, 0, 1}, // empty task list must not divide by zero
+		{8, 0, 0, 0, 1},
+		{8, 2, 0, 2, 4},
+		{8, 13, 0, 8, 1},
+		{1, 13, 0, 1, 1},
+		{4, 1, 0, 1, 4}, // a single task keeps the whole budget
+		{8, 4, 3, 4, 3}, // explicit inner width respected as-is
+	}
+	for _, tc := range cases {
+		w, in := splitBudget(tc.requested, tc.tasks, tc.explicit)
+		if w != tc.workers || in != tc.inner {
+			t.Errorf("splitBudget(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.requested, tc.tasks, tc.explicit, w, in, tc.workers, tc.inner)
+		}
+	}
+}
+
+func TestSeedDefaultConsolidated(t *testing.T) {
+	if EffectiveSeed(0) != DefaultSeed || EffectiveSeed(5) != 5 {
+		t.Fatal("EffectiveSeed fallback broken")
+	}
+	if (Params{}).EffectiveSeed() != DefaultSeed {
+		t.Fatal("Params zero seed must map to DefaultSeed")
+	}
+	// A spec with seed 0 must behave exactly like seed DefaultSeed.
+	spec := declSpec()
+	spec.Seed = 0
+	spec.Measures = []string{"links", "social-cost"}
+	zero := renderSpec(t, spec, Params{})
+	spec.Seed = DefaultSeed
+	if def := renderSpec(t, spec, Params{}); !bytes.Equal(zero, def) {
+		t.Fatal("seed 0 and DefaultSeed produced different tables")
+	}
+}
+
+func TestRegisterSpecCatalog(t *testing.T) {
+	spec := declSpec()
+	spec.Name = "catalog-decl-test"
+	if err := RegisterSpec(spec, "unit catalog entry"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		regMu.Lock()
+		delete(registry, spec.Name)
+		regMu.Unlock()
+	}()
+	if err := RegisterSpec(spec, "dup"); err == nil {
+		t.Fatal("duplicate RegisterSpec should error")
+	}
+	desc, err := Describe(spec.Name)
+	if err != nil || desc != "unit catalog entry" {
+		t.Fatalf("Describe = %q, %v", desc, err)
+	}
+	tb, err := Run(spec.Name, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("catalog run rows = %d", len(tb.Rows))
+	}
+	got, err := CatalogSpec(spec.Name)
+	if err != nil || !reflect.DeepEqual(got, spec) {
+		t.Fatalf("CatalogSpec = %+v, %v", got, err)
+	}
+	bad := spec
+	bad.Name = ""
+	if err := RegisterSpec(bad, "x"); err == nil {
+		t.Fatal("RegisterSpec without a name should error")
+	}
+}
+
+func TestSweepValidateAndPoints(t *testing.T) {
+	sw := Sweep{
+		Name:   "unit-sweep",
+		Base:   declSpec(),
+		Alphas: []float64{1, 4},
+		Ns:     []int{6, 8},
+		Seeds:  []uint64{1, 2},
+	}
+	sw.Base.Measures = nil
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	points := sw.Points()
+	if len(points) != 8 {
+		t.Fatalf("grid has %d points, want 8", len(points))
+	}
+	// seed-major, then n, then alpha.
+	want := []struct {
+		seed  uint64
+		n     int
+		alpha float64
+	}{
+		{1, 6, 1}, {1, 6, 4}, {1, 8, 1}, {1, 8, 4},
+		{2, 6, 1}, {2, 6, 4}, {2, 8, 1}, {2, 8, 4},
+	}
+	for i, w := range want {
+		p := points[i]
+		if p.Seed != w.seed || p.Metric.N != w.n || p.Game.Alpha != w.alpha {
+			t.Fatalf("point %d = seed %d n %d α %v, want %+v", i, p.Seed, p.Metric.N, p.Game.Alpha, w)
+		}
+	}
+
+	fixed := sw
+	fixed.Base.Metric = MetricSpec{Family: "line", Positions: []float64{0, 1, 3}}
+	if err := fixed.Validate(); err == nil {
+		t.Fatal("n-axis over fixed-geometry metric should be rejected")
+	}
+	native := sw
+	native.Base = Spec{Experiment: "e4-poa"}
+	if err := native.Validate(); err == nil {
+		t.Fatal("native base should be rejected")
+	}
+	zeroSeed := sw
+	zeroSeed.Seeds = []uint64{0, 1}
+	if err := zeroSeed.Validate(); err == nil {
+		t.Fatal("seed-axis value 0 should be rejected (would duplicate DefaultSeed)")
+	}
+	negGamma := sw
+	negGamma.Gammas = []float64{-0.5}
+	if err := negGamma.Validate(); err == nil {
+		t.Fatal("negative gamma axis should be rejected")
+	}
+}
+
+func TestSweepRunWidthInvariant(t *testing.T) {
+	sw := Sweep{
+		Name:   "unit-sweep-run",
+		Base:   declSpec(),
+		Alphas: []float64{1, 4},
+		Ns:     []int{6, 8},
+	}
+	sw.Base.Measures = []string{"converged", "links", "social-cost", "c-over-lb"}
+	render := func(par int) []byte {
+		tb, err := sw.Run(Params{}, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	if len(seq) == 0 {
+		t.Fatal("empty sweep table")
+	}
+	for _, par := range []int{2, 4} {
+		if got := render(par); !bytes.Equal(seq, got) {
+			t.Fatalf("sweep table at parallelism %d differs from sequential:\n%s\nvs\n%s", par, got, seq)
+		}
+	}
+	tb, err := sw.Run(Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("sweep rows = %d, want 4", len(tb.Rows))
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	sw := Sweep{
+		Name:        "rt-sweep",
+		Description: "round-trip",
+		Base:        declSpec(),
+		Alphas:      []float64{1, 2},
+		Gammas:      []float64{0, 0.5},
+	}
+	sw.Base.Measures = []string{"links"}
+	var buf bytes.Buffer
+	if err := sw.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSweep(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sw) {
+		t.Fatalf("sweep round-trip mismatch:\n got %+v\nwant %+v", got, sw)
+	}
+	if _, err := ReadSweep(strings.NewReader(`{"base":{"metric":{"family":"uniform","n":4},"game":{"alpha":1}},"bogus":[]}`)); err == nil {
+		t.Fatal("unknown sweep field should be rejected")
+	}
+}

@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"selfishnet/internal/export"
+)
+
+// Sweep is a grid of declarative Specs over the axes α, n, seed and γ.
+// Axes left empty stay at the base spec's value, so a sweep degrades
+// gracefully down to a single point. Grid points are independent specs
+// with explicit seeds, so they execute concurrently with tables that
+// are byte-identical at every parallelism width: rows are reduced in
+// grid order (seed-major, then n, α, γ — the nesting order of Points).
+type Sweep struct {
+	// Name titles the result table.
+	Name string `json:"name,omitempty"`
+	// Description is free-form documentation, echoed as a table note.
+	Description string `json:"description,omitempty"`
+	// Base is the spec every grid point derives from. It must be
+	// declarative: native paper runners produce bespoke tables that do
+	// not grid over shared axes.
+	Base Spec `json:"base"`
+	// Alphas overrides Base.Game.Alpha per point.
+	Alphas []float64 `json:"alphas,omitempty"`
+	// Ns overrides Base.Metric.N per point (sized families only).
+	Ns []int `json:"ns,omitempty"`
+	// Seeds overrides Base.Seed per point.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Gammas overrides Base.Game.Gamma per point.
+	Gammas []float64 `json:"gammas,omitempty"`
+}
+
+// Validate checks the sweep without running anything.
+func (sw Sweep) Validate() error {
+	if sw.Base.Experiment != "" {
+		return fmt.Errorf("scenario: sweep %q: base must be declarative, not experiment %q",
+			sw.Name, sw.Base.Experiment)
+	}
+	if err := sw.Base.Validate(); err != nil {
+		return err
+	}
+	if len(sw.Ns) > 0 && !sw.Base.Metric.Sizeable() {
+		return fmt.Errorf("scenario: sweep %q: metric family %q has fixed geometry, cannot sweep n",
+			sw.Name, sw.Base.Metric.Family)
+	}
+	for _, n := range sw.Ns {
+		if n < 2 {
+			return fmt.Errorf("scenario: sweep %q: n axis value %d < 2", sw.Name, n)
+		}
+	}
+	for _, a := range sw.Alphas {
+		if a < 0 {
+			return fmt.Errorf("scenario: sweep %q: negative alpha %v", sw.Name, a)
+		}
+	}
+	for _, g := range sw.Gammas {
+		if g < 0 {
+			return fmt.Errorf("scenario: sweep %q: negative gamma %v", sw.Name, g)
+		}
+	}
+	for _, seed := range sw.Seeds {
+		if seed == 0 {
+			// 0 would collapse to DefaultSeed and duplicate that grid
+			// point; a seeds axis must be explicit.
+			return fmt.Errorf("scenario: sweep %q: seed axis value 0 (0 means DefaultSeed %d; list explicit seeds)",
+				sw.Name, DefaultSeed)
+		}
+	}
+	return nil
+}
+
+// Points expands the grid into fully-specified Specs in deterministic
+// order: seeds outermost, then n, α, γ. Empty axes contribute the base
+// value as a single point.
+func (sw Sweep) Points() []Spec {
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{sw.Base.Seed}
+	}
+	type nAxis struct {
+		set bool
+		n   int
+	}
+	ns := []nAxis{{}}
+	if len(sw.Ns) > 0 {
+		ns = ns[:0]
+		for _, n := range sw.Ns {
+			ns = append(ns, nAxis{set: true, n: n})
+		}
+	}
+	alphas := sw.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{sw.Base.Game.Alpha}
+	}
+	gammas := sw.Gammas
+	if len(gammas) == 0 {
+		gammas = []float64{sw.Base.Game.Gamma}
+	}
+	var points []Spec
+	for _, seed := range seeds {
+		for _, n := range ns {
+			for _, alpha := range alphas {
+				for _, gamma := range gammas {
+					spec := sw.Base
+					spec.Seed = seed
+					if n.set {
+						spec.Metric.N = n.n
+					}
+					spec.Game.Alpha = alpha
+					spec.Game.Gamma = gamma
+					points = append(points, spec)
+				}
+			}
+		}
+	}
+	return points
+}
+
+// Run executes every grid point and reduces the rows, in grid order,
+// into one table. parallelism bounds concurrent grid points (0 = all
+// cores, 1 = sequential); each point's internal replica fan-out gets
+// the remaining budget, and the table is byte-identical at any width.
+// Params.Seed is ignored (the seed axis owns seeding); Params.Quick
+// trims every point.
+func (sw Sweep) Run(p Params, parallelism int) (*export.Table, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	points := sw.Points()
+	measures := effectiveMeasures(sw.Base)
+	// Grid points get the worker goroutines; each point's internal
+	// replica fan-out gets the remaining budget (one point keeps the
+	// whole width, many points on few cores run replicas sequentially).
+	workers, inner := splitBudget(parallelism, len(points), p.Parallelism)
+
+	rows := make([][]string, len(points))
+	errs := make([]error, len(points))
+	cutOff := make([]bool, len(points))
+	forEachIndex(len(points), workers, func(i int) {
+		spec := points[i]
+		if p.Quick {
+			spec.Quick = true
+		}
+		out, err := runDeclarative(spec, inner)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		cutOff[i] = out.nonEquilibrium
+		rows[i], errs[i] = out.row(measures)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sweep point %d: %w", i, err)
+		}
+	}
+	cutOffPoints := 0
+	for _, c := range cutOff {
+		if c {
+			cutOffPoints++
+		}
+	}
+
+	title := sw.Name
+	if title == "" {
+		title = fmt.Sprintf("sweep over %s", sw.Base.Metric.Family)
+	}
+	tb := &export.Table{Title: title, Headers: specHeaders(measures), Rows: rows}
+	if sw.Description != "" {
+		tb.Notes = append(tb.Notes, sw.Description)
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (seeds×n×α×γ), rows in grid order", len(points)))
+	if cutOffPoints > 0 {
+		tb.Notes = append(tb.Notes, fmt.Sprintf("%d point(s): %s", cutOffPoints, nonEquilibriumNote))
+	}
+	return tb, nil
+}
+
+// ReadSweep decodes a Sweep from JSON, rejecting unknown fields.
+func ReadSweep(r io.Reader) (Sweep, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sw Sweep
+	if err := dec.Decode(&sw); err != nil {
+		return Sweep{}, fmt.Errorf("scenario: decoding sweep: %w", err)
+	}
+	if err := sw.Validate(); err != nil {
+		return Sweep{}, err
+	}
+	return sw, nil
+}
+
+// WriteJSON encodes the sweep with indentation.
+func (sw Sweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sw)
+}

@@ -33,7 +33,9 @@
 //   - a discrete-event overlay simulator (lookups, maintenance pings,
 //     churn) grounding the game quantities in system metrics;
 //   - the experiment harness regenerating every theorem/figure table
-//     (see cmd/topogame and EXPERIMENTS.md).
+//     (see cmd/topogame and EXPERIMENTS.md), built on a declarative
+//     scenario engine: JSON experiment specs and parameter sweeps over
+//     α, n, seed and γ (topogame spec/sweep).
 //
 // # Quick start
 //
@@ -41,6 +43,14 @@
 //	game, _ := selfishnet.NewGame(space, 2.0)
 //	res, _ := selfishnet.RunDynamics(game, selfishnet.EmptyProfile(4), selfishnet.DynamicsConfig{})
 //	fmt.Println(res.Converged, selfishnet.SocialCost(game, res.Final))
+//
+// The package functions above are one-shot conveniences; when issuing
+// many operations against the same game, create a Session — it caches
+// the evaluator's adjacency and heap buffers across calls:
+//
+//	s := selfishnet.NewSession(game)
+//	res, _ := s.RunDynamics(selfishnet.EmptyProfile(4), selfishnet.DynamicsConfig{})
+//	fmt.Println(s.IsNash(res.Final))
 //
 // See examples/ for complete programs.
 package selfishnet
@@ -141,12 +151,12 @@ func RandomProfile(r *RNG, n int, q float64) Profile {
 
 // PeerCost returns peer i's decomposed cost under profile p.
 func PeerCost(g *Game, p Profile, i int) Cost {
-	return core.NewEvaluator(g).PeerCost(p, i)
+	return NewSession(g).PeerCost(p, i)
 }
 
 // SocialCost returns the decomposed social cost C(G[p]).
 func SocialCost(g *Game, p Profile) Cost {
-	return core.NewEvaluator(g).SocialCost(p)
+	return NewSession(g).SocialCost(p)
 }
 
 // Pool fans all-pairs evaluations (social cost, max stretch,
@@ -162,51 +172,41 @@ func NewPool(g *Game, workers int) *Pool { return core.NewPool(g, workers) }
 // MaxStretch returns the largest pairwise stretch in the overlay (+Inf
 // when some peer cannot reach another).
 func MaxStretch(g *Game, p Profile) float64 {
-	return core.NewEvaluator(g).MaxTerm(p)
+	return NewSession(g).MaxStretch(p)
 }
 
 // IsNash reports whether p is an exact pure Nash equilibrium of g.
 func IsNash(g *Game, p Profile) (bool, error) {
-	return nash.IsNash(core.NewEvaluator(g), p)
+	return NewSession(g).IsNash(p)
 }
 
 // CheckNash reports every peer's best deviation under the exact oracle.
 func CheckNash(g *Game, p Profile) (NashReport, error) {
-	return nash.Check(core.NewEvaluator(g), p, &bestresponse.Exact{}, bestresponse.Tolerance)
+	return NewSession(g).CheckNash(p)
 }
 
 // BestResponse returns peer i's exact best response to p.
 func BestResponse(g *Game, p Profile, i int) (Strategy, Eval, error) {
-	res, err := (&bestresponse.Exact{}).BestResponse(core.NewEvaluator(g), p, i)
-	if err != nil {
-		return Strategy{}, Eval{}, err
-	}
-	return res.Strategy, res.Eval, nil
+	return NewSession(g).BestResponse(p, i)
 }
 
 // RunDynamics executes best-response dynamics from start (see
 // DynamicsConfig for oracles, activation policies, cycle detection).
 func RunDynamics(g *Game, start Profile, cfg DynamicsConfig) (DynamicsResult, error) {
-	return dynamics.Run(core.NewEvaluator(g), start, cfg)
+	return NewSession(g).RunDynamics(start, cfg)
 }
 
 // EnumerateEquilibria exhaustively lists every pure Nash equilibrium of
 // g (exponential; n ≤ 5). maxProfiles caps the search (0 = 2^22).
 func EnumerateEquilibria(g *Game, maxProfiles int) ([]Profile, error) {
-	return nash.EnumerateEquilibria(core.NewEvaluator(g), maxProfiles)
+	return NewSession(g).EnumerateEquilibria(maxProfiles)
 }
 
 // PoABounds sandwiches the Price of Anarchy contribution of profile p:
 // the ratio of C(G[p]) to an upper bound on OPT (portfolio + annealing)
 // and to the universal lower bound αn + Σ lower-bound terms.
 func PoABounds(g *Game, p Profile, r *RNG) (lower, upper float64, err error) {
-	ev := core.NewEvaluator(g)
-	cost := ev.SocialCost(p).Total()
-	_, best, err := opt.BestKnown(ev, r)
-	if err != nil {
-		return 0, 0, err
-	}
-	return cost / best.Total(), cost / opt.LowerBound(g), nil
+	return NewSession(g).PoABounds(p, r)
 }
 
 // OptimumLowerBound returns the universal social-cost lower bound
@@ -268,7 +268,7 @@ type TopologyStats = analysis.TopologyStats
 
 // AnalyzeTopology computes the structural summary of p over g.
 func AnalyzeTopology(g *Game, p Profile) (TopologyStats, error) {
-	return analysis.Analyze(core.NewEvaluator(g), p)
+	return NewSession(g).AnalyzeTopology(p)
 }
 
 // Structured overlay constructions (re-exports).
