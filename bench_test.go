@@ -172,6 +172,46 @@ func BenchmarkDynamicsToConvergence(b *testing.B) {
 	}
 }
 
+func BenchmarkDynamicsToConvergenceIncremental(b *testing.B) {
+	// Ablation: the same workload with the incremental engine pinned on
+	// (the default engages it only at n ≥ dynamics.IncrementalMinPeers).
+	ev, _ := randomSetup(b, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynamics.Run(ev, core.NewProfile(10), dynamics.Config{
+			Policy: &dynamics.RoundRobin{}, MaxSteps: 5000, ForceIncremental: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkDynamicsLarge(b *testing.B) {
+	// A 128-peer best-response run (12 applied moves, local-search
+	// oracle) — infeasible with the seed's dense SSSPs and unbounded
+	// scoring, routine with the incremental engine (n ≥ 64 selects it),
+	// the batched deviation evaluator and bounded candidate evaluation.
+	ev, _ := randomSetup(b, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dynamics.Run(ev, core.NewProfile(128), dynamics.Config{
+			Policy:   &dynamics.RoundRobin{},
+			Oracle:   &bestresponse.LocalSearch{},
+			MaxSteps: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Steps != 12 {
+			b.Fatalf("applied %d steps, want 12", res.Steps)
+		}
+	}
+}
+
 func BenchmarkConvergeReplicas(b *testing.B) {
 	// 8 independent replica runs fanned across the dynamics worker pool
 	// (bit-identical to sequential; wall-clock scales with cores).

@@ -89,20 +89,65 @@ func (*Exact) Name() string { return "exact" }
 func (o *Exact) Clone() Oracle { return &Exact{MaxEvaluations: o.MaxEvaluations} }
 
 // Evaluations returns how many candidate strategies the most recent
-// BestResponse call scored — the measure of what cardinality pruning
-// saves over the unpruned 2^(n-1).
+// BestResponse call resolved — scored directly, or eliminated in bulk
+// by the subtree lower bound, which settles a candidate's fate without
+// evaluating it. The count equals what the pre-pruning enumeration
+// scored one by one, so it remains the measure of what cardinality
+// pruning saves over the unpruned 2^(n-1).
 func (o *Exact) Evaluations() int { return o.lastEvals }
 
 // BestResponse implements Oracle exactly.
+//
+// The search enumerates candidate link sets by cardinality. On
+// instances that admit the batched deviation evaluator it runs over a
+// core.DeviationStack — sharing fold prefixes along the backtracking
+// tree — and prunes with two exact devices on top of the classic
+// cardinality bound: candidates are scored through EvalBounded (early
+// abandonment against the incumbent), and whole subtrees die when the
+// suffix-min lower bound proves no completion can beat the incumbent.
+// Both devices are floating-point-exact (see core.DeviationStack), so
+// the returned Result is bit-identical to the unpruned enumeration and
+// Evaluations() counts bulk-pruned candidates as resolved.
 func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
 	inst := ev.Instance()
 	n := inst.N()
 	if i < 0 || i >= n {
 		return Result{}, fmt.Errorf("bestresponse: peer %d out of range [0,%d)", i, n)
 	}
+	if b := ev.NewDeviationBatch(p, i); b != nil {
+		return o.bestResponseStack(ev, b, p, i)
+	}
+	return o.bestResponseScan(ev, p, i)
+}
 
-	// Sum of per-pair lower bounds: no strategy can beat α·k + sumLB at
-	// cardinality k.
+// bestResponseStack delegates the batch-backed search to the fused
+// core kernel (see core.DeviationBatch.ExactSearch), which owns the
+// prefix-sharing folds, the suffix-min subtree bound and the bounded
+// candidate evaluation. This function supplies the model lower-bound
+// sum and maps budget/count semantics onto the Oracle contract.
+func (o *Exact) bestResponseStack(ev *core.Evaluator, b *core.DeviationBatch, p core.Profile, i int) (Result, error) {
+	inst := ev.Instance()
+	n := inst.N()
+	sumLB := 0.0
+	for j := 0; j < n; j++ {
+		if j != i {
+			sumLB += inst.Model().LowerBound(inst.Distance(i, j))
+		}
+	}
+	out := b.ExactSearch(p.Strategy(i), sumLB, Tolerance, o.MaxEvaluations)
+	o.lastEvals = out.Resolved
+	if out.OverBudget {
+		return Result{}, ErrBudgetExceeded
+	}
+	return Result{Strategy: out.Strategy, Eval: out.Eval}, nil
+}
+
+// bestResponseScan is the fallback search for instances without a
+// deviation batch (undirected links or congestion): the classic
+// per-candidate enumeration over the SSSP scorer.
+func (o *Exact) bestResponseScan(ev *core.Evaluator, p core.Profile, i int) (Result, error) {
+	inst := ev.Instance()
+	n := inst.N()
 	sumLB := 0.0
 	for j := 0; j < n; j++ {
 		if j != i {
@@ -112,7 +157,7 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 
 	o.lastEvals = 0
 	budget := o.MaxEvaluations
-	scorer := deviationScorer(ev, p, i)
+	scorer := func(s core.Strategy) core.Eval { return ev.DeviationEval(p, i, s) }
 	best := Result{Strategy: p.Strategy(i).Clone(), Eval: scorer(p.Strategy(i))}
 	overBudget := false
 	score := func(s core.Strategy) (core.Eval, bool) {
@@ -131,9 +176,6 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 		}
 	}
 
-	// The full strategy (link to everyone) reaches all peers at the term
-	// lower bound exactly, under both models; scoring it early makes the
-	// incumbent connected, which tightens the cardinality pruning.
 	full := bitset.FromSlice(candidates)
 	c, ok := score(full)
 	if !ok {
@@ -143,7 +185,6 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 		best = Result{Strategy: full, Eval: c}
 	}
 
-	// Enumerate subsets by cardinality with backtracking.
 	cur := bitset.New(n)
 	var rec func(start, remaining int) bool // returns false to abort
 	rec = func(start, remaining int) bool {
@@ -170,15 +211,12 @@ func (o *Exact) BestResponse(ev *core.Evaluator, p core.Profile, i int) (Result,
 
 	alpha := inst.Alpha()
 	for k := 0; k <= len(candidates); k++ {
-		// Cardinality pruning: the cheapest conceivable strategy with k
-		// links costs α·k + sumLB. Once that can no longer beat the
-		// (connected) incumbent, larger k is hopeless too (α > 0).
 		if alpha > 0 && best.Eval.Unreachable == 0 &&
 			alpha*float64(k)+sumLB >= best.Eval.Key()-Tolerance {
 			break
 		}
 		if k == len(candidates) {
-			continue // already scored the full strategy
+			continue
 		}
 		if !rec(0, k) {
 			if overBudget {

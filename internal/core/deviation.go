@@ -45,6 +45,14 @@ func (ev *Evaluator) NewDeviationBatch(p Profile, i int) *DeviationBatch {
 	if i < 0 || i >= n {
 		return nil
 	}
+	// With an attached BatchCache (incremental dynamics), serve the
+	// batch from the persisted rest rows, re-settling only the rows the
+	// moves since the last call for i could have touched.
+	if c := ev.batchCache; c != nil {
+		if b := c.batchFor(ev, p, i); b != nil {
+			return b
+		}
+	}
 	if cap(ev.batchFlat) < n*n {
 		ev.batchFlat = make([]float64, n*n)
 		ev.batchD = make([]float64, n)
@@ -78,7 +86,7 @@ func (b *DeviationBatch) Eval(alt Strategy) Eval {
 		d[j] = math.Inf(1)
 	}
 	d[b.i] = 0
-	row := b.ev.inst.dist[b.i]
+	row := b.ev.inst.distRow(b.i)
 	alt.ForEach(func(k int) bool {
 		rk := b.rest[k]
 		if rk == nil {
@@ -93,4 +101,108 @@ func (b *DeviationBatch) Eval(alt Strategy) Eval {
 		return true
 	})
 	return b.ev.peerEvalFrom(d, b.i, alt.Count())
+}
+
+// maxSuffixMinFloats caps the memory of a SuffixMins table (the
+// branch-and-bound helper): beyond it the exact oracle runs unpruned,
+// which at such sizes it effectively cannot anyway.
+const maxSuffixMinFloats = 1 << 20
+
+// SuffixBound holds, for every suffix of the exact oracle's candidate
+// list, the pointwise-minimal single-link deviation terms:
+//
+//	term[ci][j] = model term of (min over k ∈ candidates[ci:] of d(i,k) + rest[k][j])
+//
+// (term[len][j] = +Inf). Any strategy drawing links only from
+// candidates[ci:] has a per-pair term of at least term[ci][j]: the
+// model term is monotone in the distance, and division by a positive
+// direct distance commutes with min exactly in floating point, so the
+// bound composes with Eval's arithmetic without slack.
+type SuffixBound struct {
+	term [][]float64
+	// sum[ci] is the Eval-ordered sum of term[ci] (Σ_{j≠i}), an upper
+	// bound on any bound partial that uses suffix ci: when link + sum[ci]
+	// is still below the incumbent threshold, no pointwise min against a
+	// prefix fold can reach it either, so the O(n) bound scan is skipped.
+	sum []float64
+	// single[ci] is the full Eval of the single-link strategy
+	// {candidates[ci]} with the Link part left zero (the caller adds
+	// α·1). Accumulated during the same pass that builds the rows, it
+	// makes the exact oracle's cardinality-1 level scan-free.
+	single []Eval
+}
+
+// SuffixMins builds the SuffixBound for the candidate list. Returns nil
+// when the model is not a built-in monotone one (no sound bound) or the
+// table would exceed the memory cap.
+func (b *DeviationBatch) SuffixMins(candidates []int) *SuffixBound {
+	n := len(b.d)
+	m := len(candidates)
+	if !b.ev.builtinMonotoneModel() || (m+1)*n > maxSuffixMinFloats {
+		return nil
+	}
+	ev := b.ev
+	if cap(ev.suffixFlat) < (m+1)*n {
+		ev.suffixFlat = make([]float64, (m+1)*n)
+	}
+	flat := ev.suffixFlat[:(m+1)*n]
+	if cap(ev.suffixRows) < m+1 {
+		ev.suffixRows = make([][]float64, m+1)
+	}
+	out := ev.suffixRows[:m+1]
+	if cap(ev.suffixSums) < m+1 {
+		ev.suffixSums = make([]float64, m+1)
+	}
+	sums := ev.suffixSums[:m+1]
+	if cap(ev.suffixSingle) < m {
+		ev.suffixSingle = make([]Eval, m)
+	}
+	single := ev.suffixSingle[:m]
+	last := flat[m*n:]
+	for j := range last {
+		last[j] = math.Inf(1)
+	}
+	out[m] = last
+	row := ev.inst.distRow(b.i)
+	stretch := ev.inst.modelKind == modelStretch
+	sums[m] = math.Inf(1)
+	for ci := m - 1; ci >= 0; ci-- {
+		k := candidates[ci]
+		cur := flat[ci*n : (ci+1)*n]
+		prev := out[ci+1]
+		rk := b.rest[k]
+		var se Eval
+		if rk == nil {
+			copy(cur, prev)
+			sums[ci] = sums[ci+1]
+		} else {
+			wk := row[k]
+			acc := 0.0
+			for j := 0; j < n; j++ {
+				t := wk + rk[j]
+				if stretch {
+					t /= row[j]
+				}
+				if j != b.i {
+					se.Cost.Term += t
+					if math.IsInf(t, 1) {
+						se.Unreachable++
+					} else {
+						se.FiniteTerm += t
+					}
+				}
+				if prev[j] < t {
+					t = prev[j]
+				}
+				cur[j] = t
+				if j != b.i {
+					acc += t
+				}
+			}
+			sums[ci] = acc
+		}
+		single[ci] = se
+		out[ci] = cur
+	}
+	return &SuffixBound{term: out, sum: sums, single: single}
 }

@@ -1,0 +1,278 @@
+package core
+
+// Differential tests for the incremental dynamics engine: DynEval's
+// maintained distance rows, tight-parent counts and change reports, and
+// the BatchCache's row-level reuse, are all checked bit-for-bit against
+// from-scratch computation over randomized move sequences in every
+// regime (directed/undirected, congestion γ > 0). Exact equality — not
+// tolerance — is the contract: the incremental engine must compute the
+// same floating-point fixpoint as a fresh Dijkstra, which is what lets
+// the dynamics layer keep trajectories byte-identical.
+
+import (
+	"math"
+	"testing"
+
+	"selfishnet/internal/rng"
+)
+
+// mutateStrategy returns a perturbed copy of s: usually a small toggle
+// of 1–3 links (the shape of a real best-response step), occasionally a
+// full redraw (worst-case delta).
+func mutateStrategy(r *rng.RNG, s Strategy, n, self int) Strategy {
+	if r.Bool(0.15) {
+		return randomStrategy(r, n, self, r.Float64())
+	}
+	out := s.Clone()
+	for toggles := 1 + r.Intn(3); toggles > 0; toggles-- {
+		j := r.Intn(n)
+		if j == self {
+			continue
+		}
+		out.Flip(j)
+	}
+	return out
+}
+
+// exactRowsEqual compares two distance vectors for exact equality
+// (including +Inf), returning the first mismatching index.
+func exactRowsEqual(a, b []float64) (int, bool) {
+	for j := range a {
+		if a[j] != b[j] && !(math.IsInf(a[j], 1) && math.IsInf(b[j], 1)) {
+			return j, false
+		}
+	}
+	return 0, true
+}
+
+func TestDynEvalMatchesFreshSSSPUnderMoveSequences(t *testing.T) {
+	r := rng.New(29)
+	for _, c := range diffCases() {
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildDiffInstance(t, r, c)
+			ev := NewEvaluator(inst)
+			fresh := NewEvaluator(inst)
+			p := randomDiffProfile(r, c.n, c.linkProb)
+			dy, err := NewDynEval(ev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dy.Close()
+			for move := 0; move < 25; move++ {
+				mover := r.Intn(c.n)
+				alt := mutateStrategy(r, p.Strategy(mover), c.n, mover)
+				if err := p.SetStrategy(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				for src := 0; src < c.n; src++ {
+					want := fresh.sssp(p, src, -1, Strategy{})
+					if j, ok := exactRowsEqual(dy.Row(src), want); !ok {
+						t.Fatalf("move %d (peer %d): row %d differs at %d: incremental %v, fresh %v",
+							move, mover, src, j, dy.Row(src)[j], want[j])
+					}
+					got := dy.PeerEval(src)
+					if want := fresh.PeerEval(p, src); got != want {
+						t.Fatalf("move %d: PeerEval(%d) = %+v, fresh %+v", move, src, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDynEvalTightParentCountsStayExact(t *testing.T) {
+	r := rng.New(31)
+	for _, c := range diffCases() {
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildDiffInstance(t, r, c)
+			ev := NewEvaluator(inst)
+			p := randomDiffProfile(r, c.n, c.linkProb)
+			dy, err := NewDynEval(ev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dy.Close()
+			for move := 0; move < 15; move++ {
+				mover := r.Intn(c.n)
+				alt := mutateStrategy(r, p.Strategy(mover), c.n, mover)
+				if err := p.SetStrategy(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				// A from-scratch engine over the same profile recomputes
+				// the counts with the full-scan path.
+				ref, err := NewDynEval(NewEvaluator(inst), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for idx := range dy.cnt {
+					if dy.cnt[idx] != ref.cnt[idx] {
+						t.Fatalf("move %d: cnt[%d] = %d (incremental), %d (fresh)",
+							move, idx, dy.cnt[idx], ref.cnt[idx])
+					}
+				}
+				ref.Close()
+			}
+		})
+	}
+}
+
+func TestDynEvalChangedSourcesNeverUnderReport(t *testing.T) {
+	r := rng.New(37)
+	for _, c := range diffCases() {
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildDiffInstance(t, r, c)
+			ev := NewEvaluator(inst)
+			p := randomDiffProfile(r, c.n, c.linkProb)
+			dy, err := NewDynEval(ev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dy.Close()
+			before := make([]float64, c.n*c.n)
+			for move := 0; move < 15; move++ {
+				copy(before, dy.dist)
+				mover := r.Intn(c.n)
+				alt := mutateStrategy(r, p.Strategy(mover), c.n, mover)
+				if err := p.SetStrategy(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				delta, err := dy.Apply(mover, alt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reported := make(map[int]bool, len(delta.ChangedSources))
+				for _, s := range delta.ChangedSources {
+					reported[s] = true
+				}
+				for s := 0; s < c.n; s++ {
+					if reported[s] {
+						continue
+					}
+					if j, ok := exactRowsEqual(dy.dist[s*c.n:(s+1)*c.n], before[s*c.n:(s+1)*c.n]); !ok {
+						t.Fatalf("move %d: source %d changed at %d but was not reported", move, s, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCacheMatchesFreshBatch drives a move sequence through a
+// DynEval (which attaches a BatchCache to its evaluator) and checks
+// every cached deviation batch — including partially re-settled ones —
+// bit-for-bit against a cache-free evaluator's batch.
+func TestBatchCacheMatchesFreshBatch(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 4; trial++ {
+		c := diffCase{n: 8 + r.Intn(12), linkProb: 0.1 + 0.3*r.Float64()}
+		inst := buildDiffInstance(t, r, c)
+		ev := NewEvaluator(inst)
+		fresh := NewEvaluator(inst)
+		p := randomDiffProfile(r, c.n, c.linkProb)
+		dy, err := NewDynEval(ev, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dy.Cache() == nil {
+			t.Fatal("directed congestion-free instance must attach a BatchCache")
+		}
+		for move := 0; move < 20; move++ {
+			for probe := 0; probe < 3; probe++ {
+				i := r.Intn(c.n)
+				got := ev.NewDeviationBatch(p, i)
+				want := fresh.NewDeviationBatch(p, i)
+				if got == nil || want == nil {
+					t.Fatal("batch unexpectedly unsupported")
+				}
+				for cand := 0; cand < 6; cand++ {
+					alt := randomStrategy(r, c.n, i, r.Float64())
+					ge, we := got.Eval(alt), want.Eval(alt)
+					if ge != we {
+						t.Fatalf("trial %d move %d: cached batch eval %+v, fresh %+v", trial, move, ge, we)
+					}
+				}
+			}
+			mover := r.Intn(c.n)
+			alt := mutateStrategy(r, p.Strategy(mover), c.n, mover)
+			if err := p.SetStrategy(mover, alt); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dy.Apply(mover, alt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dy.Close()
+		if ev.batchCache != nil {
+			t.Fatal("Close must detach the cache")
+		}
+	}
+}
+
+// TestBatchCachePeerVersionSemantics pins the invalidation contract the
+// dynamics layer builds on: a stable PeerVersion across moves implies
+// the peer's deviation environment is unchanged (its batch yields
+// identical evals), and a move by the peer itself never bumps its own
+// version.
+func TestBatchCachePeerVersionSemantics(t *testing.T) {
+	r := rng.New(43)
+	c := diffCase{n: 12, linkProb: 0.25}
+	inst := buildDiffInstance(t, r, c)
+	ev := NewEvaluator(inst)
+	p := randomDiffProfile(r, c.n, c.linkProb)
+	dy, err := NewDynEval(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dy.Close()
+	cache := dy.Cache()
+
+	type snapshot struct {
+		version uint64
+		evals   []Eval
+		cands   []Strategy
+	}
+	snaps := make(map[int]snapshot)
+	for i := 0; i < c.n; i++ {
+		b := ev.NewDeviationBatch(p, i)
+		cands := make([]Strategy, 5)
+		evals := make([]Eval, 5)
+		for k := range cands {
+			cands[k] = randomStrategy(r, c.n, i, 0.4)
+			evals[k] = b.Eval(cands[k])
+		}
+		snaps[i] = snapshot{version: cache.PeerVersion(i), evals: evals, cands: cands}
+	}
+	for move := 0; move < 15; move++ {
+		mover := r.Intn(c.n)
+		alt := mutateStrategy(r, p.Strategy(mover), c.n, mover)
+		if err := p.SetStrategy(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		vBefore := cache.PeerVersion(mover)
+		if _, err := dy.Apply(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		if v := cache.PeerVersion(mover); v != vBefore {
+			t.Fatalf("move %d: mover's own version bumped %d → %d", move, vBefore, v)
+		}
+		for i := 0; i < c.n; i++ {
+			snap := snaps[i]
+			if cache.PeerVersion(i) != snap.version {
+				continue // invalidated: no claim
+			}
+			b := ev.NewDeviationBatch(p, i)
+			for k, cand := range snap.cands {
+				if got := b.Eval(cand); got != snap.evals[k] {
+					t.Fatalf("move %d: peer %d version stable at %d but eval changed: %+v vs %+v",
+						move, i, snap.version, got, snap.evals[k])
+				}
+			}
+		}
+	}
+}

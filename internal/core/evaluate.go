@@ -12,11 +12,17 @@ import (
 // at construction, so Space.Distance is evaluated only once per pair.
 type Instance struct {
 	space           metric.Space
+	n               int
 	alpha           float64
 	model           CostModel
+	modelKind       modelKind
 	undirected      bool
 	congestionGamma float64
-	dist            [][]float64
+	// dist is the n×n direct-distance matrix as one row-major slab:
+	// d(i,j) lives at dist[i*n+j]. A single allocation keeps rows
+	// adjacent in memory, which the SSSP adjacency build, the dense
+	// reference and the DeviationBatch folds all scan sequentially.
+	dist []float64
 }
 
 // Option configures an Instance.
@@ -55,14 +61,22 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 	for _, opt := range opts {
 		opt(in)
 	}
+	switch in.model.(type) {
+	case StretchModel:
+		in.modelKind = modelStretch
+	case DistanceModel:
+		in.modelKind = modelDistance
+	default:
+		in.modelKind = modelCustom
+	}
 	if err := validateCongestion(in.congestionGamma); err != nil {
 		return nil, err
 	}
 	n := space.N()
-	in.dist = make([][]float64, n)
-	for i := range in.dist {
-		in.dist[i] = make([]float64, n)
-		for j := range in.dist[i] {
+	in.n = n
+	in.dist = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
@@ -70,14 +84,28 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 			if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 				return nil, fmt.Errorf("core: space distance d(%d,%d) = %v, want finite positive", i, j, d)
 			}
-			in.dist[i][j] = d
+			in.dist[i*n+j] = d
 		}
 	}
 	return in, nil
 }
 
 // N returns the number of peers.
-func (in *Instance) N() int { return in.space.N() }
+func (in *Instance) N() int { return in.n }
+
+// distRow returns the direct distances from peer i as a slice view into
+// the row-major slab.
+func (in *Instance) distRow(i int) []float64 { return in.dist[i*in.n : (i+1)*in.n] }
+
+// denseRows materializes the distance matrix as per-row slices (views
+// into the slab), for callers that want the [][]float64 shape.
+func (in *Instance) denseRows() [][]float64 {
+	rows := make([][]float64, in.n)
+	for i := range rows {
+		rows[i] = in.distRow(i)
+	}
+	return rows
+}
 
 // Alpha returns the link-maintenance price α.
 func (in *Instance) Alpha() float64 { return in.alpha }
@@ -89,7 +117,7 @@ func (in *Instance) Model() CostModel { return in.model }
 func (in *Instance) Space() metric.Space { return in.space }
 
 // Distance returns the cached direct distance d(i,j).
-func (in *Instance) Distance(i, j int) float64 { return in.dist[i][j] }
+func (in *Instance) Distance(i, j int) float64 { return in.dist[i*in.n+j] }
 
 // Cost is a decomposed cost value: Link is the α·degree part (C_E for a
 // peer, α|E| for the whole system) and Term is the stretch/distance part
@@ -126,7 +154,23 @@ type Evaluator struct {
 	// Scratch for batched deviation evaluation (see deviation.go).
 	batchFlat []float64
 	batchD    []float64
+	// batchCache, when attached by a DynEval, persists deviation-batch
+	// rest rows across oracle calls (see batchcache.go). Nil by default.
+	batchCache *BatchCache
+	// Scratch for the exact oracle's stack search (one live
+	// DeviationStack / SuffixMins table per evaluator at a time).
+	stackLevels  []float64
+	stackTerms   []float64
+	suffixFlat   []float64
+	suffixRows   [][]float64
+	suffixSums   []float64
+	suffixSingle []Eval
+	candScratch  []int
 }
+
+// smallFrontierMax is the peer count up to which ssspFrom uses the
+// unsorted-frontier settling loop instead of the indexed heap.
+const smallFrontierMax = 16
 
 // csr is a compressed-sparse-row adjacency: the arcs leaving vertex u
 // are (to[k], w[k]) for k in [head[u], head[u+1]).
@@ -171,7 +215,7 @@ func strategyOf(p Profile, u, override int, alt Strategy) Strategy {
 // ssspFrom per source.
 func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 	n := ev.inst.N()
-	dist := ev.inst.dist
+	inst := ev.inst
 
 	// Congestion: fold the head peer's in-degree into the arc weight, so
 	// the traversal itself needs no special casing.
@@ -209,7 +253,7 @@ func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 	ev.fwd.w = ev.fwd.w[:m]
 	for u := 0; u < n; u++ {
 		idx := ev.fwd.head[u]
-		row := dist[u]
+		row := inst.distRow(u)
 		strategyOf(p, u, override, alt).ForEach(func(j int) bool {
 			w := row[j]
 			if ev.scale != nil {
@@ -265,7 +309,7 @@ func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 			ev.rev.to[pos] = int32(v)
 			// d(u,v), not d(v,u): matches the dense reference and the
 			// forward convention even on asymmetric distance matrices.
-			ev.rev.w[pos] = dist[u][v] * sc
+			ev.rev.w[pos] = inst.Distance(u, v) * sc
 			ev.revFill[u] = pos + 1
 			return true
 		})
@@ -283,12 +327,46 @@ func (ev *Evaluator) ssspFrom(src int) []float64 {
 		d[i] = math.Inf(1)
 	}
 	d[src] = 0
-	h := &ev.heap
-	h.reset(n)
-	h.fix(int32(src), 0)
 	fwdHead, fwdTo, fwdW := ev.fwd.head, ev.fwd.to, ev.fwd.w
 	revHead, revTo, revW := ev.rev.head, ev.rev.to, ev.rev.w
 	undirected := ev.inst.undirected
+	if n <= smallFrontierMax && !undirected {
+		// Tiny graphs: an unsorted frontier array beats the heap — the
+		// active frontier of a sparse overlay holds a handful of
+		// vertices, so linear min extraction is a few compares with no
+		// sift traffic. Settling order may differ from the heap's on
+		// ties, but the computed distances are the same unique
+		// min-over-paths fixpoint (cross-checked by the differential
+		// SSSP tests).
+		var frontier [smallFrontierMax]int32
+		frontier[0] = int32(src)
+		fn := 1
+		for fn > 0 {
+			bi, bd := 0, d[frontier[0]]
+			for fi := 1; fi < fn; fi++ {
+				if dv := d[frontier[fi]]; dv < bd {
+					bi, bd = fi, dv
+				}
+			}
+			u := frontier[bi]
+			fn--
+			frontier[bi] = frontier[fn]
+			for k := fwdHead[u]; k < fwdHead[u+1]; k++ {
+				to := fwdTo[k]
+				if nd := bd + fwdW[k]; nd < d[to] {
+					if math.IsInf(d[to], 1) {
+						frontier[fn] = to
+						fn++
+					}
+					d[to] = nd
+				}
+			}
+		}
+		return d
+	}
+	h := &ev.heap
+	h.reset(n)
+	h.fix(int32(src), 0)
 	for !h.empty() {
 		u, du := h.popMin()
 		for k := fwdHead[u]; k < fwdHead[u+1]; k++ {
@@ -327,7 +405,7 @@ func (ev *Evaluator) sssp(p Profile, src, override int, alt Strategy) []float64 
 // ssspFrom. The result shares ev.d, so copy before comparing.
 func (ev *Evaluator) ssspDense(p Profile, src, override int, alt Strategy) []float64 {
 	n := ev.inst.N()
-	dist := ev.inst.dist
+	inst := ev.inst
 	var scale []float64
 	if gamma := ev.inst.congestionGamma; gamma > 0 {
 		indeg := make([]int, n)
@@ -338,7 +416,7 @@ func (ev *Evaluator) ssspDense(p Profile, src, override int, alt Strategy) []flo
 		}
 	}
 	weight := func(u, v int) float64 {
-		w := dist[u][v]
+		w := inst.Distance(u, v)
 		if scale != nil {
 			w *= scale[v]
 		}
@@ -430,37 +508,69 @@ func (e Eval) Gain(alt Eval) float64 {
 func (ev *Evaluator) peerEvalFrom(d []float64, i, degree int) Eval {
 	inst := ev.inst
 	e := Eval{Cost: Cost{Link: inst.alpha * float64(degree)}}
-	row := inst.dist[i]
+	row := inst.distRow(i)
 	n := inst.N()
-	accumulate := func(j int, t float64) {
-		e.Cost.Term += t
-		if math.IsInf(t, 1) {
-			e.Unreachable++
-		} else {
-			e.FiniteTerm += t
-		}
-	}
-	switch inst.model.(type) {
-	case StretchModel:
+	switch inst.modelKind {
+	case modelStretch:
 		for j := 0; j < n; j++ {
-			if j != i {
-				accumulate(j, d[j]/row[j])
+			if j == i {
+				continue
+			}
+			t := d[j] / row[j]
+			e.Cost.Term += t
+			if math.IsInf(t, 1) {
+				e.Unreachable++
+			} else {
+				e.FiniteTerm += t
 			}
 		}
-	case DistanceModel:
+	case modelDistance:
 		for j := 0; j < n; j++ {
-			if j != i {
-				accumulate(j, d[j])
+			if j == i {
+				continue
+			}
+			t := d[j]
+			e.Cost.Term += t
+			if math.IsInf(t, 1) {
+				e.Unreachable++
+			} else {
+				e.FiniteTerm += t
 			}
 		}
 	default:
 		for j := 0; j < n; j++ {
-			if j != i {
-				accumulate(j, inst.model.Term(d[j], row[j]))
+			if j == i {
+				continue
+			}
+			t := inst.model.Term(d[j], row[j])
+			e.Cost.Term += t
+			if math.IsInf(t, 1) {
+				e.Unreachable++
+			} else {
+				e.FiniteTerm += t
 			}
 		}
 	}
 	return e
+}
+
+// modelKind caches the cost model's identity at construction, keeping
+// type switches off the per-candidate hot paths.
+type modelKind uint8
+
+const (
+	modelStretch modelKind = iota
+	modelDistance
+	modelCustom
+)
+
+// builtinMonotoneModel reports whether the instance's cost model is one
+// of the two built-ins, whose per-pair term is monotone nondecreasing
+// in the overlay distance (stretch d/δ and distance d). Monotonicity is
+// what makes bounded evaluation and subtree lower bounds sound; custom
+// models fall back to full evaluation.
+func (ev *Evaluator) builtinMonotoneModel() bool {
+	return ev.inst.modelKind != modelCustom
 }
 
 // PeerEval returns peer i's enriched cost under profile p.
@@ -511,9 +621,10 @@ func (ev *Evaluator) TermMatrix(p Profile) [][]float64 {
 	for i := 0; i < n; i++ {
 		d := ev.ssspFrom(i)
 		row := make([]float64, n)
+		direct := ev.inst.distRow(i)
 		for j := 0; j < n; j++ {
 			if i != j {
-				row[j] = ev.inst.model.Term(d[j], ev.inst.dist[i][j])
+				row[j] = ev.inst.model.Term(d[j], direct[j])
 			}
 		}
 		out[i] = row
@@ -530,11 +641,12 @@ func (ev *Evaluator) MaxTerm(p Profile) float64 {
 	maxT := 0.0
 	for i := 0; i < n; i++ {
 		d := ev.ssspFrom(i)
+		direct := ev.inst.distRow(i)
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			if t := ev.inst.model.Term(d[j], ev.inst.dist[i][j]); t > maxT {
+			if t := ev.inst.model.Term(d[j], direct[j]); t > maxT {
 				maxT = t
 			}
 		}

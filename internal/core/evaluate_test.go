@@ -239,7 +239,7 @@ func TestEvaluatorSSSPMatchesGraphDijkstra(t *testing.T) {
 		}
 		ev := NewEvaluator(inst)
 		p := randomProfile(r, n, 0.35)
-		g, err := p.Graph(inst.dist)
+		g, err := p.Graph(inst.denseRows())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"math"
+
+	"selfishnet/internal/bitset"
+)
+
+// ExactSearchOutcome is the result of DeviationBatch.ExactSearch.
+type ExactSearchOutcome struct {
+	// Strategy and Eval are the global best response found (the
+	// incumbent when nothing beats it by more than tol).
+	Strategy Strategy
+	Eval     Eval
+	// Resolved counts candidate strategies settled: scored directly or
+	// eliminated in bulk by the subtree lower bound. It equals what an
+	// unpruned cardinality enumeration would score one by one.
+	Resolved int
+	// OverBudget is true when the search hit its evaluation budget; the
+	// other fields are then meaningless.
+	OverBudget bool
+}
+
+// ExactSearch finds the batch peer's globally optimal strategy by
+// enumerating candidate link sets in increasing cardinality, in one
+// fused kernel (the exact oracle's hot path):
+//
+//   - The backtracking tree shares fold prefixes: per-depth distance
+//     levels are pointwise mins, so visiting a node costs O(n), not
+//     O(depth·n); leaves fold their last link and accumulate the eval
+//     in a single bounded pass.
+//   - Per-depth term levels and a suffix-min term table (the model term
+//     is monotone and commutes exactly with min in floating point)
+//     yield a division-free lower bound on every completion of a node:
+//     when it cannot beat the incumbent by more than tol, the node's
+//     subtree and all of its later siblings die in one check, and their
+//     leaves are counted in bulk (the hockey-stick identity).
+//   - Candidate evals abandon early: partial Link ⊕ term sums are
+//     monotone lower bounds on the final key, and an unreachable pair
+//     folds +Inf into the sum, so losers exit without a full scan.
+//
+// All three devices are floating-point-exact, so the outcome — and the
+// Resolved count, with bulk-pruned candidates counted as resolved — is
+// bit-identical to the unpruned enumeration. The classic cardinality
+// bound α·k + sumLB (per-pair model lower bounds, supplied by the
+// caller) terminates the cardinality loop exactly as it always has.
+//
+// budget > 0 bounds Resolved; crossing it aborts with OverBudget at the
+// same candidate the unpruned enumeration would have died on.
+func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, budget int) ExactSearchOutcome {
+	ev := b.ev
+	inst := ev.inst
+	n := inst.n
+	s := exactSearch{
+		b:       b,
+		n:       n,
+		i:       b.i,
+		alpha:   inst.alpha,
+		row:     inst.distRow(b.i),
+		stretch: inst.modelKind == modelStretch,
+		tol:     tol,
+		budget:  budget,
+	}
+
+	if cap(ev.candScratch) < n {
+		ev.candScratch = make([]int, 0, n)
+	}
+	s.candidates = ev.candScratch[:0]
+	for j := 0; j < n; j++ {
+		if j != s.i {
+			s.candidates = append(s.candidates, j)
+		}
+	}
+	ev.candScratch = s.candidates
+	m := len(s.candidates)
+	s.m = m
+
+	if cap(ev.stackLevels) < (m+1)*n {
+		ev.stackLevels = make([]float64, (m+1)*n)
+	}
+	s.levels = ev.stackLevels[:(m+1)*n]
+	base := s.levels[:n]
+	for j := range base {
+		base[j] = math.Inf(1)
+	}
+	base[s.i] = 0
+
+	monotone := ev.builtinMonotoneModel()
+	if monotone {
+		if cap(ev.stackTerms) < (m+1)*n {
+			ev.stackTerms = make([]float64, (m+1)*n)
+		}
+		s.terms = ev.stackTerms[:(m+1)*n]
+		tbase := s.terms[:n]
+		for j := range tbase {
+			tbase[j] = math.Inf(1)
+		}
+		tbase[s.i] = 0
+	}
+
+	s.setBest(incumbent.Clone(), b.Eval(incumbent))
+
+	// The full strategy (link to everyone) reaches all peers at the term
+	// lower bound exactly, under both models; scoring it early makes the
+	// incumbent connected, which tightens every pruning device.
+	if sb := b.SuffixMins(s.candidates); sb != nil {
+		s.suffix = sb.term
+		s.suffixSum = sb.sum
+		s.single = sb.single
+	}
+	if !s.spend(1) {
+		return ExactSearchOutcome{Resolved: s.resolved, OverBudget: true}
+	}
+	full := bitset.FromSlice(s.candidates)
+	var fullEval Eval
+	if s.suffix != nil {
+		// suffix[0][j] is exactly the term of the full strategy's
+		// distance to j (min over all single links, and min commutes
+		// with the monotone term), so the full eval is one summation.
+		fullEval = s.evalFromTerms(s.suffix[0], m)
+	} else {
+		fullEval = b.Eval(full)
+	}
+	if fullEval.Better(s.bestEval, tol) {
+		s.setBest(full, fullEval)
+	}
+
+	s.cur = bitset.New(n)
+	for k := 0; k <= m; k++ {
+		// Cardinality pruning: the cheapest conceivable strategy with k
+		// links costs α·k + sumLB. Once that can no longer beat the
+		// (connected) incumbent, larger k is hopeless too (α > 0).
+		if s.alpha > 0 && s.bestEval.Unreachable == 0 &&
+			s.alpha*float64(k)+sumLB >= s.bestEval.Key()-tol {
+			break
+		}
+		if k == m {
+			continue // already scored the full strategy
+		}
+		s.kTotal = k
+		if k == 0 {
+			// The empty strategy is the lone leaf at cardinality 0.
+			if !s.spend(1) {
+				return ExactSearchOutcome{Resolved: s.resolved, OverBudget: true}
+			}
+			s.scoreLevel(0, 0)
+			continue
+		}
+		if k == 1 && s.single != nil {
+			// Cardinality 1: the suffix build already produced every
+			// single-link eval (bit-identical to the generic leaf fold);
+			// compare them in candidate order, scan-free.
+			link := s.alpha
+			overBudget := false
+			for ci := 0; ci < m; ci++ {
+				if !s.spend(1) {
+					overBudget = true
+					break
+				}
+				e := s.single[ci]
+				e.Cost.Link = link
+				if e.Better(s.bestEval, tol) {
+					one := bitset.New(n)
+					one.Add(s.candidates[ci])
+					s.setBest(one, e)
+				}
+			}
+			if overBudget {
+				return ExactSearchOutcome{Resolved: s.resolved, OverBudget: true}
+			}
+			continue
+		}
+		if !s.rec(0, k, 0) {
+			if s.over {
+				return ExactSearchOutcome{Resolved: s.resolved, OverBudget: true}
+			}
+			break
+		}
+	}
+	return ExactSearchOutcome{Strategy: s.bestStrategy, Eval: s.bestEval, Resolved: s.resolved}
+}
+
+// exactSearch is the mutable state of one ExactSearch run. All slices
+// are evaluator-owned scratch.
+type exactSearch struct {
+	b          *DeviationBatch
+	n, i, m    int
+	alpha      float64
+	row        []float64
+	stretch    bool
+	tol        float64
+	budget     int
+	candidates []int
+	levels     []float64   // per-depth distance folds
+	terms      []float64   // per-depth term folds (nil for custom models)
+	suffix     [][]float64 // suffix-min term rows (nil when unavailable)
+	suffixSum  []float64   // Eval-ordered sums of the suffix rows
+	single     []Eval      // single-link evals (Link left zero)
+	cur        Strategy
+	kTotal     int
+
+	bestStrategy  Strategy
+	bestEval      Eval
+	bestConnected bool
+	threshold     float64 // bestEval.Key() − tol, the Better margin
+
+	resolved int
+	over     bool
+}
+
+func (s *exactSearch) setBest(strat Strategy, e Eval) {
+	s.bestStrategy = strat
+	s.bestEval = e
+	s.bestConnected = e.Unreachable == 0
+	s.threshold = e.Key() - s.tol
+}
+
+// spend resolves c candidates; false aborts the search at the same
+// point the unpruned enumeration would exhaust its budget.
+func (s *exactSearch) spend(c int) bool {
+	s.resolved = satAddInt(s.resolved, c)
+	if s.budget > 0 && s.resolved > s.budget {
+		s.over = true
+		return false
+	}
+	return true
+}
+
+// prunable reports whether no completion of level `depth` to
+// cardinality kTotal using links from candidates[start:] can beat the
+// incumbent by more than tol (see ExactSearch).
+func (s *exactSearch) prunable(start, depth int) bool {
+	if s.terms == nil || !s.bestConnected {
+		return false
+	}
+	link := s.alpha * float64(s.kTotal)
+	threshold := s.threshold
+	if link >= threshold {
+		return true
+	}
+	if link+s.suffixSum[start] < threshold {
+		// Necessary condition: the bound partial is pointwise at most
+		// the suffix terms, so it cannot reach the threshold either.
+		return false
+	}
+	n := s.n
+	tcur := s.terms[depth*n : (depth+1)*n]
+	tsuf := s.suffix[start]
+	partial := 0.0
+	for j := 0; j < n; j++ {
+		if j == s.i {
+			continue
+		}
+		t := tcur[j]
+		if tsuf[j] < t {
+			t = tsuf[j]
+		}
+		partial += t
+		if link+partial >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// push folds candidate link k into level depth+1.
+func (s *exactSearch) push(k, depth int) {
+	n := s.n
+	cur := s.levels[depth*n : (depth+1)*n]
+	next := s.levels[(depth+1)*n : (depth+2)*n]
+	rk := s.b.rest[k]
+	wk := s.row[k]
+	for j := 0; j < n; j++ {
+		v := wk + rk[j]
+		if cur[j] < v {
+			v = cur[j]
+		}
+		next[j] = v
+	}
+	if s.terms != nil {
+		tcur := s.terms[depth*n : (depth+1)*n]
+		tnext := s.terms[(depth+1)*n : (depth+2)*n]
+		if s.stretch {
+			row := s.row
+			for j := 0; j < n; j++ {
+				t := (wk + rk[j]) / row[j]
+				if tcur[j] < t {
+					t = tcur[j]
+				}
+				tnext[j] = t
+			}
+		} else {
+			copy(tnext, next)
+		}
+	}
+}
+
+// evalFromTerms sums a per-pair term row into an Eval, mirroring
+// peerEvalFrom's accumulation exactly.
+func (s *exactSearch) evalFromTerms(terms []float64, degree int) Eval {
+	e := Eval{Cost: Cost{Link: s.alpha * float64(degree)}}
+	for j := 0; j < s.n; j++ {
+		if j == s.i {
+			continue
+		}
+		t := terms[j]
+		e.Cost.Term += t
+		if math.IsInf(t, 1) {
+			e.Unreachable++
+		} else {
+			e.FiniteTerm += t
+		}
+	}
+	return e
+}
+
+// scoreLevel scores the set currently folded at `depth` with degree
+// links against the incumbent, updating best on a strict win. It is the
+// slow path for leaves (k = 0, or custom models / disconnected best,
+// where bounded evaluation is unsound).
+func (s *exactSearch) scoreLevel(depth, degree int) {
+	e := s.b.ev.peerEvalFrom(s.levels[depth*s.n:(depth+1)*s.n], s.i, degree)
+	if e.Better(s.bestEval, s.tol) {
+		s.setBest(s.cur.Clone(), e)
+	}
+}
+
+// leaf scores level depth plus one final link to candidate k, fused:
+// the last fold and the bounded accumulation run in one pass. Exactly
+// Push + bounded eval: a survivor's Eval is bit-identical to the full
+// fold, and an early exit means precisely "not Better than best".
+func (s *exactSearch) leaf(k, depth int) {
+	if !s.bestConnected || s.terms == nil {
+		s.push(k, depth)
+		s.cur.Add(k)
+		s.scoreLevel(depth+1, depth+1)
+		s.cur.Remove(k)
+		return
+	}
+	n := s.n
+	cur := s.levels[depth*n : (depth+1)*n]
+	rk := s.b.rest[k]
+	wk := s.row[k]
+	stretch := s.stretch
+	row := s.row
+	e := Eval{Cost: Cost{Link: s.alpha * float64(depth+1)}}
+	threshold := s.threshold
+	for j := 0; j < n; j++ {
+		if j == s.i {
+			continue
+		}
+		v := wk + rk[j]
+		if cur[j] < v {
+			v = cur[j]
+		}
+		t := v
+		if stretch {
+			t = v / row[j]
+		}
+		// +Inf terms trip the threshold exit, so unreachable pairs need
+		// no separate check.
+		e.Cost.Term += t
+		e.FiniteTerm += t
+		if e.Cost.Link+e.FiniteTerm >= threshold {
+			return
+		}
+	}
+	if e.Better(s.bestEval, s.tol) {
+		s.cur.Add(k)
+		s.setBest(s.cur.Clone(), e)
+		s.cur.Remove(k)
+	}
+}
+
+// rec enumerates completions of level `depth` choosing `remaining` more
+// links from candidates[start:], in lexicographic order. Returns false
+// to abort (budget).
+func (s *exactSearch) rec(start, remaining, depth int) bool {
+	for ci := start; ci <= s.m-remaining; ci++ {
+		if s.suffix != nil && s.prunable(ci, depth) {
+			// The bound covers every completion drawing links from
+			// candidates[ci:]: this child's subtree and all later
+			// siblings' resolve in bulk (Σ_{c≥ci} C(m−c−1, r−1) =
+			// C(m−ci, r), the hockey-stick identity).
+			return s.spend(binomialInt(s.m-ci, remaining))
+		}
+		cand := s.candidates[ci]
+		if remaining == 1 {
+			if !s.spend(1) {
+				return false
+			}
+			s.leaf(cand, depth)
+			continue
+		}
+		s.push(cand, depth)
+		s.cur.Add(cand)
+		ok := s.rec(ci+1, remaining-1, depth+1)
+		s.cur.Remove(cand)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// satAddInt adds non-negative counters with saturation, so bulk
+// binomials can never wrap the resolved counter.
+func satAddInt(a, b int) int {
+	if sum := a + b; sum >= a {
+		return sum
+	}
+	return int(^uint(0) >> 1)
+}
+
+// binomTableMaxInt bounds the precomputed Pascal triangle; larger
+// arguments fall back to the iterative form.
+const binomTableMaxInt = 64
+
+var binomTableInt = func() [][]int {
+	t := make([][]int, binomTableMaxInt+1)
+	for a := 0; a <= binomTableMaxInt; a++ {
+		t[a] = make([]int, a+2)
+		t[a][0] = 1
+		for b := 1; b <= a; b++ {
+			var prev int
+			if b <= a-1 {
+				prev = t[a-1][b]
+			}
+			t[a][b] = satAddInt(t[a-1][b-1], prev)
+		}
+	}
+	return t
+}()
+
+// binomialInt returns C(a, b) saturated at MaxInt.
+func binomialInt(a, b int) int {
+	if b < 0 || b > a {
+		return 0
+	}
+	if a <= binomTableMaxInt {
+		return binomTableInt[a][b]
+	}
+	if b > a-b {
+		b = a - b
+	}
+	const lim = int(^uint(0)>>1) / 2
+	r := 1
+	for j := 1; j <= b; j++ {
+		if r > lim/a {
+			return int(^uint(0) >> 1)
+		}
+		r = r * (a - b + j) / j
+	}
+	return r
+}

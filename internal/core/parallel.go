@@ -115,11 +115,12 @@ func (pl *Pool) MaxTerm(p Profile) float64 {
 	pl.forEachSource(p, nil, func(ev *Evaluator, src int, d []float64) {
 		inst := ev.inst
 		maxT := 0.0
+		direct := inst.distRow(src)
 		for j := 0; j < n; j++ {
 			if j == src {
 				continue
 			}
-			if t := inst.model.Term(d[j], inst.dist[src][j]); t > maxT {
+			if t := inst.model.Term(d[j], direct[j]); t > maxT {
 				maxT = t
 			}
 		}
@@ -157,9 +158,10 @@ func (pl *Pool) TermMatrix(p Profile) [][]float64 {
 	pl.forEachSource(p, nil, func(ev *Evaluator, src int, d []float64) {
 		inst := ev.inst
 		row := make([]float64, n)
+		direct := inst.distRow(src)
 		for j := 0; j < n; j++ {
 			if j != src {
-				row[j] = inst.model.Term(d[j], inst.dist[src][j])
+				row[j] = inst.model.Term(d[j], direct[j])
 			}
 		}
 		out[src] = row

@@ -29,6 +29,7 @@ type diffCase struct {
 func diffCases() []diffCase {
 	return []diffCase{
 		{name: "directed-sparse", n: 23, linkProb: 0.08},
+		{name: "directed-small-frontier", n: 12, linkProb: 0.25},
 		{name: "directed-dense", n: 17, linkProb: 0.5},
 		{name: "directed-disconnected", n: 19, linkProb: 0.03},
 		{name: "undirected-sparse", n: 21, linkProb: 0.08, undirected: true},

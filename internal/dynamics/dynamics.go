@@ -186,11 +186,14 @@ func (RandomImproving) PickNext(n int, gain func(int) float64, tol float64, r *r
 
 // StepEvent describes one applied strategy change.
 type StepEvent struct {
-	Step    int
-	Peer    int
-	Old     core.Eval
-	New     core.Eval
-	Profile core.Profile // snapshot after the move (clone)
+	Step int
+	Peer int
+	Old  core.Eval
+	New  core.Eval
+	// Profile is a snapshot of the profile after the move. The engine
+	// shares this clone with its cycle-detection history, so treat it as
+	// read-only; Clone it before mutating.
+	Profile core.Profile
 }
 
 // Config parameterizes a dynamics run.
@@ -218,6 +221,20 @@ type Config struct {
 	// OnStep forces sequential execution so callbacks never run
 	// concurrently. Single runs (Run) are unaffected.
 	Parallelism int
+	// ForceFresh disables the incremental engine: every step recomputes
+	// peer evals and best responses from scratch, the pre-incremental
+	// behavior. Trajectories are byte-identical either way (the
+	// incremental engine's invalidation is conservative-sound, the
+	// picked mover is re-validated with a fresh oracle call, and every
+	// Converged=true result is certified by a full fresh sweep); the
+	// switch exists as an escape hatch and for differential testing.
+	ForceFresh bool
+	// ForceIncremental selects the incremental engine regardless of
+	// size. By default the engine engages at n ≥ IncrementalMinPeers:
+	// below that the per-move bookkeeping (all-source distance deltas,
+	// rest-row invalidation) costs more than the SSSPs it saves.
+	// ForceFresh wins when both are set.
+	ForceIncremental bool
 }
 
 // Result summarizes a dynamics run.
@@ -238,6 +255,17 @@ type Result struct {
 	// CycleProfiles holds the distinct profiles along the detected
 	// cycle, in order (only when DetectCycles).
 	CycleProfiles []core.Profile
+	// CacheStats reports what the incremental engine's persistent batch
+	// store saved (zero value for ForceFresh runs and regimes without a
+	// store). Purely informational: it never differs across equal
+	// trajectories' observable results.
+	CacheStats core.BatchCacheStats
+	// FinalCost is the social cost of Final, when the engine had it for
+	// free (the incremental engine's distance rows cover the final
+	// profile). Bit-identical to Evaluator.SocialCost(Final); consumers
+	// (WorstConverged) recompute when FinalCostOK is false.
+	FinalCost   core.Cost
+	FinalCostOK bool
 }
 
 // ErrNoProgress is returned if a policy returns a peer whose oracle
@@ -246,6 +274,19 @@ var ErrNoProgress = errors.New("dynamics: selected peer has no improving deviati
 
 // Run executes best-response dynamics from the start profile. The start
 // profile is not mutated.
+//
+// By default the run uses the incremental engine: a core.DynEval keeps
+// every peer's shortest-path distances current across moves (so current
+// evals cost O(n) instead of an SSSP), best responses persist across
+// steps under conservative-sound invalidation keyed to the move deltas,
+// and — where the instance admits batched deviation evaluation — the
+// oracles' rest-SSSP rows persist too, re-settling only rows a move
+// could have touched. Safety is layered: invalidation only ever
+// over-invalidates, a mover picked from a persisted gain is re-validated
+// with a fresh oracle call before its move is applied, and a
+// Converged=true result is certified by a fresh sweep of every peer.
+// Trajectories are therefore byte-identical to Config.ForceFresh runs
+// (asserted by the differential tests in incremental_test.go).
 func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 	n := ev.Instance().N()
 	if start.N() != n {
@@ -264,21 +305,87 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		cfg.MaxSteps = 10_000
 	}
 	cfg.Policy.Reset()
+	if cfg.ForceFresh || (!cfg.ForceIncremental && n < IncrementalMinPeers) {
+		return runFresh(ev, start, cfg)
+	}
+	return runIncremental(ev, start, cfg)
+}
 
+// IncrementalMinPeers is the default size threshold for the incremental
+// engine: measured on the benchmark suite, the per-move delta
+// bookkeeping breaks even against from-scratch recomputation in the
+// tens of peers and wins above (see PERFORMANCE.md). Both engines
+// produce byte-identical trajectories, so the threshold is purely a
+// performance heuristic; Config.ForceFresh / ForceIncremental pin the
+// choice.
+const IncrementalMinPeers = 64
+
+// cycleVisit is one recorded (step, profile, scheduler-state) triple.
+type cycleVisit struct {
+	step    int
+	profile core.Profile
+	state   uint64
+}
+
+// cycleTracker detects repeated (profile, scheduler-state) pairs. Each
+// step stores exactly one clone of the pre-move profile, shared between
+// the hash bucket and the ordered trail (and, in the engines, with the
+// previous step's OnStep snapshot), so cycle detection costs one clone
+// per step instead of two.
+type cycleTracker struct {
+	seen  map[uint64][]cycleVisit
+	trail []core.Profile
+}
+
+func newCycleTracker() *cycleTracker {
+	return &cycleTracker{
+		seen:  make(map[uint64][]cycleVisit),
+		trail: make([]core.Profile, 0, 64),
+	}
+}
+
+// report fills res's cycle fields for a repeat of the visit at `first`
+// observed again at `step` — shared by both engines so cycle reporting
+// cannot drift between them.
+func (ct *cycleTracker) report(res *Result, p core.Profile, deterministic bool, first, step int) {
+	res.CycleDetected = true
+	res.CycleLength = step - first
+	res.CycleProven = deterministic
+	res.CycleProfiles = append(res.CycleProfiles, ct.trail[first:]...)
+	res.Final = p
+	res.Steps = step
+}
+
+// observe records snap — a clone of the current profile, treated as
+// immutable from here on — for the given step, and reports the step of
+// the first identical visit if this state repeats one.
+func (ct *cycleTracker) observe(snap core.Profile, state uint64, step int) (int, bool) {
+	key := snap.Hash() ^ mix(state)
+	for _, v := range ct.seen[key] {
+		if v.state == state && v.profile.Equal(snap) {
+			return v.step, true
+		}
+	}
+	ct.seen[key] = append(ct.seen[key], cycleVisit{step: step, profile: snap, state: state})
+	ct.trail = append(ct.trail, snap)
+	return 0, false
+}
+
+// runFresh is the from-scratch engine: per-step caches only, cleared
+// wholesale after every applied move. It is the reference the
+// incremental engine is differentially tested against.
+func runFresh(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+	n := ev.Instance().N()
 	p := start.Clone()
 	res := Result{}
 
-	type visit struct {
-		step    int
-		profile core.Profile
-		state   uint64
-	}
-	var seen map[uint64][]visit
-	var trail []core.Profile
+	var ct *cycleTracker
 	if cfg.DetectCycles {
-		seen = make(map[uint64][]visit)
-		trail = make([]core.Profile, 0, 64)
+		ct = newCycleTracker()
 	}
+	needSnap := cfg.DetectCycles || cfg.OnStep != nil
+	var snap core.Profile // clone of p taken after the last applied move
+	haveSnap := false
 
 	// Per-step caches of current evals and best responses so PickNext's
 	// gains are reused when applying the move.
@@ -320,21 +427,16 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 
 	for step := 0; step < cfg.MaxSteps; step++ {
 		if cfg.DetectCycles {
-			key := p.Hash() ^ mix(cfg.Policy.StateKey())
-			for _, v := range seen[key] {
-				if v.state == cfg.Policy.StateKey() && v.profile.Equal(p) {
-					res.CycleDetected = true
-					res.CycleLength = step - v.step
-					res.CycleProven = cfg.Policy.Deterministic()
-					res.CycleProfiles = append(res.CycleProfiles, trail[v.step:]...)
-					res.Final = p
-					res.Steps = step
-					return res, nil
-				}
+			cl := snap
+			if !haveSnap {
+				cl = p.Clone()
 			}
-			seen[key] = append(seen[key], visit{step: step, profile: p.Clone(), state: cfg.Policy.StateKey()})
-			trail = append(trail, p.Clone())
+			if first, hit := ct.observe(cl, cfg.Policy.StateKey(), step); hit {
+				ct.report(&res, p, cfg.Policy.Deterministic(), first, step)
+				return res, nil
+			}
 		}
+		haveSnap = false
 
 		mover := cfg.Policy.PickNext(n, gain, cfg.Tol, cfg.Rand)
 		if oracleErr != nil {
@@ -360,18 +462,217 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		clear(devCache)
 		clear(curCache)
 		res.Steps = step + 1
+		if needSnap {
+			snap = p.Clone()
+			haveSnap = true
+		}
 		if cfg.OnStep != nil {
 			cfg.OnStep(StepEvent{
 				Step:    step,
 				Peer:    mover,
 				Old:     old,
 				New:     dev.Eval,
-				Profile: p.Clone(),
+				Profile: snap,
 			})
 		}
 	}
 	res.Final = p
 	return res, nil // neither converged nor (detected) cycling: budget ran out
+}
+
+// runIncremental is the persistent-cache engine (see Run). Its gains
+// are byte-identical to runFresh's: current evals come from the
+// DynEval's maintained rows (the same floating-point fixpoint a fresh
+// SSSP computes), and a cached best response is only reused while the
+// peer's deviation environment is provably untouched.
+func runIncremental(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+	n := ev.Instance().N()
+	p := start.Clone()
+	dy, err := core.NewDynEval(ev, p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer dy.Close()
+	cache := dy.Cache()
+	res := Result{}
+
+	var ct *cycleTracker
+	if cfg.DetectCycles {
+		ct = newCycleTracker()
+	}
+	needSnap := cfg.DetectCycles || cfg.OnStep != nil
+	var snap core.Profile
+	haveSnap := false
+
+	// moveVersion is the environment version for peers without a
+	// persisted batch entry (and for regimes without a BatchCache): it
+	// changes on every applied move, so their cached best responses are
+	// conservatively invalidated each step.
+	moveVersion := uint64(0)
+	envOf := func(i int) uint64 {
+		if cache != nil {
+			return cache.PeerVersion(i)
+		}
+		return moveVersion
+	}
+
+	// devEntry is peer i's persisted best response: res as returned by
+	// the oracle, env the environment version it was computed under, and
+	// step the step the oracle was last actually invoked on.
+	type devEntry struct {
+		res  bestresponse.Result
+		ok   bool
+		env  uint64
+		step int
+	}
+	dev := make([]devEntry, n)
+	curStep := 0
+	var oracleErr error
+	refresh := func(i int) *devEntry {
+		e := &dev[i]
+		r, err := cfg.Oracle.BestResponse(ev, p, i)
+		if err != nil {
+			oracleErr = err
+			return e
+		}
+		*e = devEntry{res: r, ok: true, env: envOf(i), step: curStep}
+		return e
+	}
+	gainOf := func(e *devEntry, i int) float64 {
+		if e.res.Strategy.Equal(p.Strategy(i)) {
+			// Staying put is not a deviation (see runFresh).
+			return 0
+		}
+		return dy.PeerEval(i).Gain(e.res.Eval)
+	}
+	gain := func(i int) float64 {
+		if oracleErr != nil {
+			return 0
+		}
+		e := &dev[i]
+		if !e.ok || e.env != envOf(i) {
+			e = refresh(i)
+			if oracleErr != nil {
+				return 0
+			}
+		}
+		return gainOf(e, i)
+	}
+
+	for step := 0; step < cfg.MaxSteps; step++ {
+		curStep = step
+		if cfg.DetectCycles {
+			cl := snap
+			if !haveSnap {
+				cl = p.Clone()
+			}
+			if first, hit := ct.observe(cl, cfg.Policy.StateKey(), step); hit {
+				ct.report(&res, p, cfg.Policy.Deterministic(), first, step)
+				if cache != nil {
+					res.CacheStats = cache.Stats()
+				}
+				return res, nil
+			}
+		}
+		haveSnap = false
+
+		mover := cfg.Policy.PickNext(n, gain, cfg.Tol, cfg.Rand)
+		if oracleErr != nil {
+			return Result{}, oracleErr
+		}
+		if mover == -1 {
+			// Certify convergence with a full fresh sweep: re-ask the
+			// oracle for every peer whose gain was served from a
+			// persisted cache rather than computed this step.
+			suspect := false
+			for i := 0; i < n; i++ {
+				if e := &dev[i]; e.ok && e.step == step {
+					continue
+				}
+				e := refresh(i)
+				if oracleErr != nil {
+					return Result{}, oracleErr
+				}
+				if gainOf(e, i) > cfg.Tol {
+					suspect = true
+					break
+				}
+			}
+			if suspect {
+				// A persisted gain was stale. Conservative invalidation
+				// makes this unreachable; if it ever fires, re-pick with
+				// the refreshed caches instead of reporting a false
+				// equilibrium.
+				mover = cfg.Policy.PickNext(n, gain, cfg.Tol, cfg.Rand)
+				if oracleErr != nil {
+					return Result{}, oracleErr
+				}
+			}
+			if mover == -1 {
+				res.Final = p
+				res.Converged = true
+				res.Steps = step
+				res.FinalCost = dy.SocialCost()
+				res.FinalCostOK = true
+				if cache != nil {
+					res.CacheStats = cache.Stats()
+				}
+				return res, nil
+			}
+		}
+		e := &dev[mover]
+		if !e.ok {
+			return Result{}, ErrNoProgress
+		}
+		if e.step != step {
+			// The pick rests on a persisted entry: re-validate with a
+			// fresh oracle call before applying the move.
+			e = refresh(mover)
+			if oracleErr != nil {
+				return Result{}, oracleErr
+			}
+		}
+		old := dy.PeerEval(mover)
+		if !e.res.Eval.Better(old, cfg.Tol) {
+			return Result{}, ErrNoProgress
+		}
+		if err := p.SetStrategy(mover, e.res.Strategy); err != nil {
+			return Result{}, err
+		}
+		if _, err := dy.Apply(mover, e.res.Strategy); err != nil {
+			return Result{}, err
+		}
+		moveVersion++
+		// The mover's environment (the graph minus its own out-arcs) is
+		// untouched by its own move, but its cached best response is
+		// dropped anyway: an oracle's answer may depend on the peer's
+		// current strategy (e.g. an iteration-capped hill climb resumes
+		// from the incumbent), so only oracles whose answer is a fixed
+		// point of itself could soundly keep it — a property the Oracle
+		// interface does not promise.
+		dev[mover].ok = false
+		res.Steps = step + 1
+		if needSnap {
+			snap = p.Clone()
+			haveSnap = true
+		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(StepEvent{
+				Step:    step,
+				Peer:    mover,
+				Old:     old,
+				New:     e.res.Eval,
+				Profile: snap,
+			})
+		}
+	}
+	res.Final = p
+	res.FinalCost = dy.SocialCost()
+	res.FinalCostOK = true
+	if cache != nil {
+		res.CacheStats = cache.Stats()
+	}
+	return res, nil
 }
 
 // mix is a 64-bit finalizer applied to scheduler state before XOR-ing it
@@ -584,7 +885,10 @@ func WorstConverged(ev *core.Evaluator, results []Result) (worst core.Profile, c
 			continue
 		}
 		converged++
-		c := ev.SocialCost(res.Final)
+		c := res.FinalCost
+		if !res.FinalCostOK {
+			c = ev.SocialCost(res.Final)
+		}
 		if c.Total() > worstCost {
 			worstCost = c.Total()
 			worst = res.Final

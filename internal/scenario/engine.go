@@ -127,13 +127,19 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	forceFresh, forceIncremental, err := engineFlags(spec.Dynamics.Engine)
+	if err != nil {
+		return nil, err
+	}
 	cfg := dynamics.Config{
-		Oracle:       oracle,
-		Policy:       policy,
-		Tol:          spec.Dynamics.Tol,
-		MaxSteps:     maxSteps,
-		DetectCycles: spec.Dynamics.DetectCycles,
-		Parallelism:  parallelism,
+		Oracle:           oracle,
+		Policy:           policy,
+		Tol:              spec.Dynamics.Tol,
+		MaxSteps:         maxSteps,
+		DetectCycles:     spec.Dynamics.DetectCycles,
+		Parallelism:      parallelism,
+		ForceFresh:       forceFresh,
+		ForceIncremental: forceIncremental,
 	}
 
 	out := &outcome{spec: spec, seed: seed, inst: inst, ev: ev}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDynamicsEngineChoice pins the engine plumbing: the three engine
+// selections are accepted, unknown names are rejected at validation,
+// and — because both engines produce byte-identical trajectories — the
+// rendered tables are identical regardless of the choice.
+func TestDynamicsEngineChoice(t *testing.T) {
+	base := Spec{
+		Name:   "engine-choice",
+		Metric: MetricSpec{Family: "uniform", N: 12},
+		Game:   GameSpec{Alpha: 2},
+		Dynamics: DynamicsSpec{
+			Policy: "round-robin", Oracle: "local-search", Runs: 3, LinkProb: 0.25,
+		},
+		Seed: 11,
+	}
+
+	render := func(engine string) string {
+		spec := base
+		spec.Dynamics.Engine = engine
+		tb, err := RunSpec(spec, Params{})
+		if err != nil {
+			t.Fatalf("engine %q: %v", engine, err)
+		}
+		var sb strings.Builder
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	auto := render("auto")
+	if got := render(""); got != auto {
+		t.Fatalf("empty engine differs from auto:\n%s\nvs\n%s", got, auto)
+	}
+	if got := render("fresh"); got != auto {
+		t.Fatalf("fresh engine table differs from auto:\n%s\nvs\n%s", got, auto)
+	}
+	if got := render("incremental"); got != auto {
+		t.Fatalf("incremental engine table differs from auto:\n%s\nvs\n%s", got, auto)
+	}
+
+	bad := base
+	bad.Dynamics.Engine = "warp"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown engine name must fail validation")
+	}
+}

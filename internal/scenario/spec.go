@@ -262,6 +262,28 @@ type DynamicsSpec struct {
 	Runs int `json:"runs,omitempty"`
 	// LinkProb is the replica start density (default 0.3).
 	LinkProb float64 `json:"link_prob,omitempty"`
+	// Engine selects the dynamics evaluation engine: "" or "auto"
+	// (incremental at n ≥ dynamics.IncrementalMinPeers, fresh below),
+	// "fresh" (force from-scratch recomputation each step), or
+	// "incremental" (force the persistent-cache engine). Both engines
+	// produce byte-identical trajectories; the choice only affects
+	// wall-clock.
+	Engine string `json:"engine,omitempty"`
+}
+
+// engineFlags maps a DynamicsSpec engine name onto the dynamics Config
+// switches.
+func engineFlags(name string) (forceFresh, forceIncremental bool, err error) {
+	switch name {
+	case "", "auto":
+		return false, false, nil
+	case "fresh":
+		return true, false, nil
+	case "incremental":
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("scenario: unknown dynamics engine %q (want auto, fresh or incremental)", name)
+	}
 }
 
 // PolicyByName returns the activation policy for a DynamicsSpec name.
@@ -340,6 +362,9 @@ func (s Spec) Validate() error {
 		return err
 	}
 	if _, err := OracleByName(s.Dynamics.Oracle); err != nil {
+		return err
+	}
+	if _, _, err := engineFlags(s.Dynamics.Engine); err != nil {
 		return err
 	}
 	if !validStartKinds[s.Start.Kind] {
