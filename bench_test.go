@@ -85,6 +85,130 @@ func BenchmarkSocialCost64(b *testing.B) {
 	}
 }
 
+// uniformSetup builds a uniform-metric (every pair at distance 1)
+// instance, the metric class the word-parallel BFS kernel serves. Extra
+// options (e.g. core.WithKernel("heap")) pin ablation variants.
+func uniformSetup(b *testing.B, n int, alpha float64, opts ...core.Option) (*core.Evaluator, core.Profile) {
+	b.Helper()
+	space, err := metric.Uniform(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, alpha, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewEvaluator(inst), dynamics.RandomProfile(rng.New(42), n, 0.2)
+}
+
+// smallIntSetup builds a random integer metric with distances in
+// [lo, 2·lo] (the triangle inequality holds for free), the class the
+// Dial bucket-queue kernel serves.
+func smallIntSetup(b *testing.B, n, lo int, alpha float64, opts ...core.Option) (*core.Evaluator, core.Profile) {
+	b.Helper()
+	r := rng.New(42)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(lo + r.Intn(lo+1))
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	space, err := metric.NewMatrixUnchecked(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, alpha, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewEvaluator(inst), dynamics.RandomProfile(r, n, 0.2)
+}
+
+// BenchmarkSocialCost64Uniform is the PR-4 acceptance benchmark: the
+// same all-pairs social-cost workload as BenchmarkSocialCost64, on the
+// uniform metric the bitset BFS kernel dispatches on. Compare against
+// the heap ablation below and the PR-3 BenchmarkSocialCost64 snapshot
+// in BENCH_baseline.json.
+func BenchmarkSocialCost64Uniform(b *testing.B) {
+	ev, p := uniformSetup(b, 64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SocialCost(p)
+	}
+}
+
+func BenchmarkSocialCost64UniformHeap(b *testing.B) {
+	// Ablation: identical workload with the general heap kernel pinned.
+	ev, p := uniformSetup(b, 64, 4, core.WithKernel("heap"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SocialCost(p)
+	}
+}
+
+// BenchmarkSocialCost1024 exercises the large-n regime the kernel
+// family exists for: a full n=1024 all-pairs evaluation (1024 BFS
+// sweeps over 64-bit frontier words), allocation-free in steady state.
+func BenchmarkSocialCost1024(b *testing.B) {
+	ev, p := uniformSetup(b, 1024, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ev.SocialCost(p)
+	}
+}
+
+func BenchmarkSocialCostDial256(b *testing.B) {
+	// The Dial bucket-queue kernel on a random small-integer metric
+	// (distances in [8,16]), with the heap ablation as sub-benchmark.
+	b.Run("dial", func(b *testing.B) {
+		ev, p := smallIntSetup(b, 256, 8, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.SocialCost(p)
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		ev, p := smallIntSetup(b, 256, 8, 4, core.WithKernel("heap"))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ev.SocialCost(p)
+		}
+	})
+}
+
+// BenchmarkDeviationBatch1024Parallel measures intra-step parallel
+// deviation-batch construction: the n−1 rest SSSPs of one oracle-call
+// batch, sequential vs fanned across a pool (byte-identical rows).
+func BenchmarkDeviationBatch1024Parallel(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "seq"
+		if workers == 0 {
+			name = "pool"
+		}
+		b.Run(name, func(b *testing.B) {
+			ev, p := uniformSetup(b, 1024, 4)
+			if workers == 0 {
+				ev.AttachPool(core.NewPool(ev.Instance(), 0))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if batch := ev.NewDeviationBatch(p, i%1024); batch == nil {
+					b.Fatal("batch unsupported")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSocialCostPool64(b *testing.B) {
 	ev, p := randomSetup(b, 64, 4)
 	pool := core.NewPool(ev.Instance(), 0) // all cores
@@ -98,13 +222,16 @@ func BenchmarkDeviationBatch64(b *testing.B) {
 	// One batch construction plus a sweep of single-link candidates:
 	// the shape of work inside every best-response oracle call.
 	ev, p := randomSetup(b, 64, 4)
+	var s core.Strategy
+	s.Add(0) // pre-grow the candidate set so the loop measures the kernel
+	s.Remove(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch := ev.NewDeviationBatch(p, i%64)
 		if batch == nil {
 			b.Fatal("batch unsupported")
 		}
-		var s core.Strategy
 		for j := 0; j < 64; j++ {
 			if j == i%64 {
 				continue

@@ -22,6 +22,8 @@
 //	-seed N deterministic seed override (default: spec/flag default 1)
 //	-par N  concurrent runners / grid points (default 0 = all cores);
 //	        tables print in order and are bit-identical at any N
+//	-cpuprofile f  write a pprof CPU profile of the run to f
+//	-memprofile f  write a pprof heap profile (post-run, after GC) to f
 package main
 
 import (
@@ -29,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	_ "selfishnet/internal/experiments" // register the 13 paper runners
@@ -75,11 +79,13 @@ func run(args []string) error {
 
 // outputFlags holds the shared rendering/execution flags.
 type outputFlags struct {
-	quick bool
-	csv   bool
-	json  bool
-	seed  uint64
-	par   int
+	quick      bool
+	csv        bool
+	json       bool
+	seed       uint64
+	par        int
+	cpuprofile string
+	memprofile string
 }
 
 func (o *outputFlags) register(fs *flag.FlagSet, seedDefault uint64) {
@@ -88,6 +94,42 @@ func (o *outputFlags) register(fs *flag.FlagSet, seedDefault uint64) {
 	fs.BoolVar(&o.json, "json", false, "emit JSON instead of text tables")
 	fs.Uint64Var(&o.seed, "seed", seedDefault, "random seed")
 	fs.IntVar(&o.par, "par", 0, "concurrent runners (0 = all cores, 1 = sequential)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// profiled runs work under the requested pprof profiles, so kernel
+// investigations are profile-guided (`go tool pprof`) instead of
+// requiring ad-hoc instrumentation patches. The CPU profile covers
+// exactly the work function; the heap profile snapshots live objects
+// after the run (post-GC), the steady-state arena footprint.
+func (o *outputFlags) profiled(work func() error) error {
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	if o.memprofile != "" {
+		f, err := os.Create(o.memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // report live steady-state objects, not transients
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 func (o *outputFlags) write(tb *export.Table, w io.Writer) error {
@@ -116,27 +158,29 @@ func runExperiments(args []string) error {
 		ids = scenario.IDs()
 	}
 	params := scenario.Params{Quick: out.quick, Seed: out.seed}
-	// Runners execute concurrently, but tables come back in id order and
-	// bit-identical to a sequential run, so the output is stable across
-	// -par values.
-	tables, err := scenario.RunAll(ids, params, out.par)
-	if err != nil {
-		return err
-	}
-	if out.json {
-		// One JSON array for any id count, so stdout always parses as a
-		// single document.
-		return export.WriteJSONTables(os.Stdout, tables)
-	}
-	for i, tb := range tables {
-		if err := out.write(tb, os.Stdout); err != nil {
+	return out.profiled(func() error {
+		// Runners execute concurrently, but tables come back in id order
+		// and bit-identical to a sequential run, so the output is stable
+		// across -par values.
+		tables, err := scenario.RunAll(ids, params, out.par)
+		if err != nil {
 			return err
 		}
-		if i+1 < len(ids) {
-			fmt.Println()
+		if out.json {
+			// One JSON array for any id count, so stdout always parses as
+			// a single document.
+			return export.WriteJSONTables(os.Stdout, tables)
 		}
-	}
-	return nil
+		for i, tb := range tables {
+			if err := out.write(tb, os.Stdout); err != nil {
+				return err
+			}
+			if i+1 < len(ids) {
+				fmt.Println()
+			}
+		}
+		return nil
+	})
 }
 
 func runSpec(args []string) error {
@@ -174,13 +218,15 @@ func runSpec(args []string) error {
 	if err != nil {
 		return err
 	}
-	tb, err := scenario.RunSpec(spec, scenario.Params{
-		Quick: out.quick, Seed: out.seed, Parallelism: out.par,
+	return out.profiled(func() error {
+		tb, err := scenario.RunSpec(spec, scenario.Params{
+			Quick: out.quick, Seed: out.seed, Parallelism: out.par,
+		})
+		if err != nil {
+			return err
+		}
+		return out.write(tb, os.Stdout)
 	})
-	if err != nil {
-		return err
-	}
-	return out.write(tb, os.Stdout)
 }
 
 func readSpecArg(path string) (scenario.Spec, error) {
@@ -230,11 +276,13 @@ func runSweep(args []string) error {
 			return fmt.Errorf("sweep file has a seeds axis; -seed would be ambiguous")
 		}
 	}
-	tb, err := sw.Run(scenario.Params{Quick: out.quick}, out.par)
-	if err != nil {
-		return err
-	}
-	return out.write(tb, os.Stdout)
+	return out.profiled(func() error {
+		tb, err := sw.Run(scenario.Params{Quick: out.quick}, out.par)
+		if err != nil {
+			return err
+		}
+		return out.write(tb, os.Stdout)
+	})
 }
 
 func usage() {
@@ -255,5 +303,7 @@ flags (run/spec/sweep):
   -seed N     deterministic seed override
   -par N      concurrent runners / grid points (default 0 = all cores;
               output is identical at any value)
+  -cpuprofile f  write a pprof CPU profile of the run to f
+  -memprofile f  write a pprof heap profile (post-run, after GC) to f
 `)
 }

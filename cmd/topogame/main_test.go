@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"selfishnet/internal/scenario"
 )
 
 func TestTopogameCommands(t *testing.T) {
@@ -187,6 +189,51 @@ func TestTopogameSweepWidthInvariant(t *testing.T) {
 
 	if err := run([]string{"sweep"}); err == nil {
 		t.Error("sweep without a file should error")
+	}
+}
+
+// TestTopogameProfilingFlags runs a quick experiment under -cpuprofile
+// and -memprofile and checks both profile files materialize non-empty.
+func TestTopogameProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"run", "-quick", "-cpuprofile", cpu, "-memprofile", mem, "e2-fig1"})
+	if err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"run", "-quick", "-cpuprofile", filepath.Join(dir, "no", "such", "dir.pprof"), "e2-fig1"}); err == nil {
+		t.Error("unwritable cpuprofile path should error")
+	}
+}
+
+// TestTopogameLargeNSweepValidates parses and validates the checked-in
+// large-n scaling grid without running it (the full run is a manual
+// scaling scenario, ~half a minute at n=1024; see EXPERIMENTS.md).
+func TestTopogameLargeNSweepValidates(t *testing.T) {
+	f, err := os.Open("testdata/sweep_large_n.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := scenario.ReadSweep(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Metric.Family != "unit" {
+		t.Fatalf("large-n grid should use the unit (uniform-metric) family, got %q", sw.Base.Metric.Family)
+	}
+	if len(sw.Ns) == 0 || sw.Ns[len(sw.Ns)-1] < 1024 {
+		t.Fatalf("large-n grid should scale to n ≥ 1024, got %v", sw.Ns)
 	}
 }
 

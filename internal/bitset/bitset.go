@@ -200,6 +200,18 @@ func (s Set) Difference(t Set) Set {
 	return Set{words: w}
 }
 
+// WriteWords copies the set's backing words into dst, zero-filling the
+// remainder of dst. Elements at or beyond len(dst)*64 are dropped, so
+// callers must size dst to cover the set's universe. This is the
+// zero-allocation bulk export used by the word-parallel BFS kernel to
+// turn strategy sets directly into adjacency rows.
+func (s Set) WriteWords(dst []uint64) {
+	k := copy(dst, s.words)
+	for i := k; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
 // Hash returns an FNV-1a style hash of the set contents. Trailing zero
 // words do not affect the hash, so Equal sets always hash equally.
 func (s Set) Hash() uint64 {

@@ -116,6 +116,30 @@ func TestEqualAcrossCapacities(t *testing.T) {
 	}
 }
 
+func TestWriteWords(t *testing.T) {
+	s := FromSlice([]int{0, 3, 64, 100, 130})
+	dst := make([]uint64, 4)
+	for i := range dst {
+		dst[i] = ^uint64(0) // stale garbage that must be overwritten
+	}
+	s.WriteWords(dst)
+	want := []uint64{1 | 1<<3, 1 | 1<<(100-64), 1 << (130 - 128), 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, dst[i], want[i])
+		}
+	}
+
+	// An empty set zero-fills everything, including a longer dst.
+	var empty Set
+	empty.WriteWords(dst)
+	for i, w := range dst {
+		if w != 0 {
+			t.Fatalf("empty set left word %d = %#x", i, w)
+		}
+	}
+}
+
 func TestHashConsistentWithEqual(t *testing.T) {
 	a := New(512)
 	a.Add(3)

@@ -247,6 +247,28 @@ func (c *BatchCache) batchFor(ev *Evaluator, p Profile, i int) *DeviationBatch {
 	if e.nDirty > 0 {
 		ev.prepare(p, i, Strategy{})
 		pending := c.addLog[e.logPos:]
+		// Full re-settles fan across the attached pool when there are
+		// enough of them; relax-repairs stay on the caller below (they
+		// reuse its prepared adjacency and touch only improved regions).
+		// Rows land in slots indexed by source either way, so the entry
+		// is byte-identical at any width.
+		if ev.pool != nil {
+			srcs := ev.srcScratch[:0]
+			for k := 0; k < c.n; k++ {
+				if e.dirty[k] && e.needSettle[k] {
+					srcs = append(srcs, int32(k))
+				}
+			}
+			ev.srcScratch = srcs
+			if ev.trySettleRowsParallel(p, i, srcs, e.rest) {
+				c.stats.RowsSettled += len(srcs)
+				for _, k := range srcs {
+					e.dirty[k] = false
+					e.needSettle[k] = false
+					e.nDirty--
+				}
+			}
+		}
 		for k := 0; k < c.n; k++ {
 			if !e.dirty[k] {
 				continue
@@ -272,7 +294,8 @@ func (c *BatchCache) batchFor(ev *Evaluator, p Profile, i int) *DeviationBatch {
 	if cap(ev.batchD) < c.n {
 		ev.batchD = make([]float64, c.n)
 	}
-	return &DeviationBatch{ev: ev, i: i, rest: e.rest, d: ev.batchD[:c.n]}
+	ev.batch = DeviationBatch{ev: ev, i: i, rest: e.rest, d: ev.batchD[:c.n]}
+	return &ev.batch
 }
 
 // relaxAddedArcs improves d in place by multi-source Dijkstra

@@ -7,6 +7,16 @@ import "math"
 // large instances; above the cap oracles fall back to per-candidate SSSP.
 const maxBatchPeers = 2048
 
+// SupportsBatchEval reports whether the instance admits batched
+// deviation evaluation: directed, congestion-free and within the memory
+// cap (see NewDeviationBatch for why the other regimes cannot use the
+// decomposition). Callers that provision resources for batch
+// construction — e.g. the dynamics layer's intra-step worker pool —
+// gate on it.
+func (in *Instance) SupportsBatchEval() bool {
+	return !in.undirected && in.congestionGamma == 0 && in.n <= maxBatchPeers
+}
+
 // DeviationBatch evaluates many candidate strategies for one fixed peer
 // far faster than per-candidate SSSP. It exploits the structure of a
 // unilateral deviation in the directed, congestion-free game: peer i's
@@ -39,7 +49,7 @@ type DeviationBatch struct {
 // fall back to DeviationEval.
 func (ev *Evaluator) NewDeviationBatch(p Profile, i int) *DeviationBatch {
 	n := ev.inst.N()
-	if ev.inst.undirected || ev.inst.congestionGamma > 0 || n > maxBatchPeers {
+	if !ev.inst.SupportsBatchEval() {
 		return nil
 	}
 	if i < 0 || i >= n {
@@ -57,18 +67,64 @@ func (ev *Evaluator) NewDeviationBatch(p Profile, i int) *DeviationBatch {
 		ev.batchFlat = make([]float64, n*n)
 		ev.batchD = make([]float64, n)
 	}
+	if cap(ev.batchRows) < n {
+		ev.batchRows = make([][]float64, n)
+	}
 	flat := ev.batchFlat[:n*n]
-	b := &DeviationBatch{ev: ev, i: i, rest: make([][]float64, n), d: ev.batchD[:n]}
-	ev.prepare(p, i, Strategy{}) // empty override removes i's out-arcs
+	rest := ev.batchRows[:n]
 	for k := 0; k < n; k++ {
 		if k == i {
+			rest[k] = nil // a self-link never shortens a path
 			continue
 		}
-		row := flat[k*n : (k+1)*n]
-		copy(row, ev.ssspFrom(k))
-		b.rest[k] = row
+		rest[k] = flat[k*n : (k+1)*n]
 	}
-	return b
+	ev.fillRestRows(p, i, rest)
+	ev.batch = DeviationBatch{ev: ev, i: i, rest: rest, d: ev.batchD[:n]}
+	return &ev.batch
+}
+
+// trySettleRowsParallel fans the SSSPs from srcs (over p with peer
+// skip's out-arcs removed) across the attached pool, each row landing
+// in dst[src] — byte-identical to a sequential fill at any width. It
+// returns false, leaving dst untouched, when no pool is attached or the
+// fan-out cannot pay (a single worker or fewer than two rows); callers
+// then settle sequentially. This is the one shared gate for both batch
+// paths (fresh build and BatchCache dirty-row re-settle), so the
+// fan-out convention cannot drift between them.
+func (ev *Evaluator) trySettleRowsParallel(p Profile, skip int, srcs []int32, dst [][]float64) bool {
+	pl := ev.pool
+	if pl == nil || pl.Workers() <= 1 || len(srcs) < 2 {
+		return false
+	}
+	pl.settleRestRows(p, skip, srcs, dst)
+	return true
+}
+
+// fillRestRows computes rest[k] = d_{G−skip}(k, ·) for every non-nil
+// row: SSSP from k over p with peer skip's out-arcs removed. With an
+// attached pool the rows fan across its evaluator clones (each row
+// lands in its own slot, so results are byte-identical at any width);
+// otherwise they settle sequentially on ev.
+func (ev *Evaluator) fillRestRows(p Profile, skip int, rest [][]float64) {
+	if ev.pool != nil {
+		srcs := ev.srcScratch[:0]
+		for k := range rest {
+			if rest[k] != nil {
+				srcs = append(srcs, int32(k))
+			}
+		}
+		ev.srcScratch = srcs
+		if ev.trySettleRowsParallel(p, skip, srcs, rest) {
+			return
+		}
+	}
+	ev.prepare(p, skip, Strategy{}) // empty override removes skip's out-arcs
+	for k := range rest {
+		if rest[k] != nil {
+			copy(rest[k], ev.ssspFrom(k))
+		}
+	}
 }
 
 // Peer returns the deviating peer the batch is bound to.

@@ -130,11 +130,15 @@ func NewDynEval(ev *Evaluator, p Profile) (*DynEval, error) {
 		newScale: make([]float64, n),
 	}
 	dy.rebuildAdjacency()
+	if !dy.settleAllRowsKernel() {
+		for s := 0; s < n; s++ {
+			dy.settleRow(s)
+		}
+	}
 	for s := 0; s < n; s++ {
-		dy.settleRow(s)
 		dy.rebuildRowCounts(s)
 	}
-	if !ev.inst.undirected && ev.inst.congestionGamma == 0 && n <= maxBatchPeers {
+	if ev.inst.SupportsBatchEval() {
 		dy.cache = newBatchCache(dy.p, n)
 		ev.batchCache = dy.cache
 	}
@@ -301,6 +305,41 @@ func (dy *DynEval) rebuildAdjacency() {
 	}
 	dy.isDelta = dy.isDelta[:m]
 	dy.posNewW = dy.posNewW[:m]
+}
+
+// settleAllRowsKernel settles every distance row with the instance's
+// specialized kernel when one applies (see kernels.go), returning false
+// to fall back to the per-row heap Dijkstra. The rows are bit-identical
+// either way: both kernels exist only under γ = 0, where the combined
+// traversal adjacency carries plain direct distances (all equal to the
+// unit for kernelBFS, all small integers for kernelDial). Construction
+// is the only full-matrix settle — the incremental phases touch bounded
+// regions seeded at arbitrary distances, which a level-synchronous BFS
+// or a zero-anchored bucket queue cannot express — so the transient
+// kernel scratch is allocated only here.
+func (dy *DynEval) settleAllRowsKernel() bool {
+	inst := dy.ev.inst
+	n := dy.n
+	switch inst.kernel {
+	case kernelBFS:
+		w := bfsWords(n)
+		rows := make([]uint64, n*w)
+		fillBitRows(rows, n, w, dy.out.head, dy.out.to)
+		front := make([]uint64, w)
+		next := make([]uint64, w)
+		visited := make([]uint64, w)
+		for s := 0; s < n; s++ {
+			bfsUnitSSSP(dy.Row(s), rows, w, s, inst.hopDist, front, next, visited)
+		}
+		return true
+	case kernelDial:
+		var q dialQueue
+		for s := 0; s < n; s++ {
+			dialSSSP(dy.Row(s), &q, inst.span, s, dy.out.head, dy.out.to, dy.out.w, nil, nil, nil)
+		}
+		return true
+	}
+	return false
 }
 
 // settleRow computes the distance row of source s from scratch with a

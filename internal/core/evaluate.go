@@ -23,6 +23,18 @@ type Instance struct {
 	// adjacent in memory, which the SSSP adjacency build, the dense
 	// reference and the DeviationBatch folds all scan sequentially.
 	dist []float64
+	// Kernel dispatch (see kernels.go): chosen once at construction from
+	// the metric class and γ, optionally pinned by WithKernel.
+	kernel    kernelKind
+	kernelPin string
+	// unit is the common direct distance (kernelBFS); hopDist[h] is the
+	// IEEE left-fold of h unit addends, the exact value heap Dijkstra
+	// assigns a vertex settled at hop h. Immutable after construction,
+	// so evaluator clones share it.
+	unit    float64
+	hopDist []float64
+	// span is the largest integer distance (kernelDial).
+	span int
 }
 
 // Option configures an Instance.
@@ -40,6 +52,17 @@ func WithModel(m CostModel) Option {
 // the default is directed.
 func WithUndirected() Option {
 	return func(in *Instance) { in.undirected = true }
+}
+
+// WithKernel pins the SSSP kernel: "auto" (default) dispatches on the
+// metric class, "heap" forces the general binary-heap Dijkstra, "bfs"
+// forces the word-parallel unit-weight BFS (valid only for uniform
+// metrics with γ = 0) and "dial" forces the bucket-queue Dijkstra
+// (valid only for integer-valued metrics with γ = 0). All kernels are
+// exact and bit-identical, so pinning only affects wall-clock; the
+// non-auto values exist for ablation benchmarks and differential tests.
+func WithKernel(name string) Option {
+	return func(in *Instance) { in.kernelPin = name }
 }
 
 // NewInstance creates a game over the given space with parameter α ≥ 0.
@@ -87,8 +110,68 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 			in.dist[i*n+j] = d
 		}
 	}
+	if err := in.classifyKernel(); err != nil {
+		return nil, err
+	}
 	return in, nil
 }
+
+// classifyKernel selects the SSSP kernel from the metric class and the
+// congestion setting (γ > 0 re-weights arcs by in-degree, destroying
+// both the uniform and the integer structure, so it always falls back
+// to the heap), honoring a WithKernel pin.
+func (in *Instance) classifyKernel() error {
+	n := in.n
+	info := metric.ClassifyFunc(n, func(i, j int) float64 { return in.dist[i*n+j] })
+	auto := kernelHeap
+	if in.congestionGamma == 0 {
+		switch info.Kind {
+		case metric.ClassUniform:
+			auto = kernelBFS
+		case metric.ClassSmallInt:
+			auto = kernelDial
+		}
+	}
+	switch in.kernelPin {
+	case "", "auto":
+		in.kernel = auto
+	case "heap":
+		in.kernel = kernelHeap
+	case "bfs":
+		if in.congestionGamma != 0 || info.Kind != metric.ClassUniform {
+			return fmt.Errorf("core: kernel %q needs a uniform metric with γ = 0 (metric class %s, γ = %v)",
+				in.kernelPin, info.Kind, in.congestionGamma)
+		}
+		in.kernel = kernelBFS
+	case "dial":
+		if in.congestionGamma != 0 || !info.IntegerValued {
+			return fmt.Errorf("core: kernel %q needs an integer-valued metric (≤ %d) with γ = 0 (metric class %s, γ = %v)",
+				in.kernelPin, metric.MaxSmallIntWeight, info.Kind, in.congestionGamma)
+		}
+		in.kernel = kernelDial
+	default:
+		return fmt.Errorf("core: unknown kernel %q (want auto, heap, bfs or dial)", in.kernelPin)
+	}
+	switch in.kernel {
+	case kernelBFS:
+		in.unit = info.Unit
+		// hopDist[h] replays Dijkstra's left-fold addition of h unit
+		// weights; a path has at most n-1 arcs but the BFS probes one
+		// level past the last wave, so size n+1.
+		in.hopDist = make([]float64, n+1)
+		for h := 1; h <= n; h++ {
+			in.hopDist[h] = in.hopDist[h-1] + in.unit
+		}
+	case kernelDial:
+		in.span = info.MaxWeight
+	}
+	return nil
+}
+
+// Kernel reports the SSSP kernel the instance dispatches to: "bfs"
+// (uniform metric, word-parallel bitset BFS), "dial" (small-integer
+// metric, bucket-queue Dijkstra) or "heap" (general).
+func (in *Instance) Kernel() string { return in.kernel.String() }
 
 // N returns the number of peers.
 func (in *Instance) N() int { return in.n }
@@ -166,6 +249,27 @@ type Evaluator struct {
 	suffixSums   []float64
 	suffixSingle []Eval
 	candScratch  []int
+	// BFS kernel arena (kernelBFS instances): bitset adjacency rows (w
+	// words per peer, reverse arcs pre-ORed in for undirected games)
+	// plus the frontier/visited slabs, all rebuilt in place by prepare
+	// and reused across sources — zero allocations in steady state.
+	bfsAdj     []uint64
+	bfsFront   []uint64
+	bfsNext    []uint64
+	bfsVisited []uint64
+	// Dial kernel bucket storage (kernelDial instances).
+	dial dialQueue
+	// pool, when attached, fans the rest-row SSSPs of NewDeviationBatch
+	// (and BatchCache dirty-row settles) across evaluator clones. See
+	// AttachPool.
+	pool *Pool
+	// Scratch for collecting rest-row source lists (deviation.go).
+	srcScratch []int32
+	// batchRows and batch are the DeviationBatch arena: the row-view
+	// slice and the batch value itself are evaluator-owned so a batch
+	// build allocates nothing in steady state.
+	batchRows [][]float64
+	batch     DeviationBatch
 }
 
 // smallFrontierMax is the peer count up to which ssspFrom uses the
@@ -192,8 +296,24 @@ func NewEvaluator(inst *Instance) *Evaluator {
 
 // Clone returns a fresh evaluator over the same instance. The instance
 // is immutable after construction, so clones can evaluate concurrently:
-// one evaluator per goroutine is the concurrency contract.
+// one evaluator per goroutine is the concurrency contract. An attached
+// pool is not inherited (a clone is usually created to run inside one).
 func (ev *Evaluator) Clone() *Evaluator { return NewEvaluator(ev.inst) }
+
+// AttachPool hands the evaluator a worker pool for intra-call
+// parallelism: while attached, NewDeviationBatch fans its n−1 rest-row
+// SSSPs (and the BatchCache its dirty-row re-settles) across the pool's
+// evaluator clones. Per-source rows are written to disjoint slots
+// indexed by source, so results are byte-identical at any width — the
+// same ordered-reduce convention as Pool's all-pairs methods. Pass nil
+// to detach. The pool must be bound to the same instance. An attached
+// pool is always consulted; callers that attach one for a sequence of
+// operations (e.g. a replica loop) own its lifetime, and dynamics.Run
+// leaves a caller-attached pool in place instead of layering its own.
+func (ev *Evaluator) AttachPool(pl *Pool) { ev.pool = pl }
+
+// Pool returns the attached worker pool, or nil.
+func (ev *Evaluator) Pool() *Pool { return ev.pool }
 
 // Instance returns the bound instance.
 func (ev *Evaluator) Instance() *Instance { return ev.inst }
@@ -266,6 +386,10 @@ func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 		})
 	}
 
+	if ev.inst.kernel == kernelBFS {
+		ev.prepareBFS(p, override, alt)
+	}
+
 	if !ev.inst.undirected {
 		ev.rev.head = ev.rev.head[:0]
 		return
@@ -316,12 +440,65 @@ func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 	}
 }
 
-// ssspFrom runs an indexed binary-heap Dijkstra (decrease-key, so each
-// vertex is popped exactly once) from src over the adjacency built by
-// the last prepare call. The result is valid until the next ssspFrom or
-// prepare call.
+// prepareBFS rebuilds the bitset adjacency rows the BFS kernel sweeps:
+// row u holds u's strategy arcs and, for undirected instances, the
+// reverse arcs of links others own to u (symmetry makes every
+// traversal arc weigh the same unit, so one combined row is exact).
+// Called from prepare on kernelBFS instances only (γ = 0, no scale).
+func (ev *Evaluator) prepareBFS(p Profile, override int, alt Strategy) {
+	n := ev.inst.N()
+	w := bfsWords(n)
+	if cap(ev.bfsAdj) < n*w {
+		ev.bfsAdj = make([]uint64, n*w)
+		ev.bfsFront = make([]uint64, w)
+		ev.bfsNext = make([]uint64, w)
+		ev.bfsVisited = make([]uint64, w)
+	}
+	ev.bfsAdj = ev.bfsAdj[:n*w]
+	for u := 0; u < n; u++ {
+		strategyOf(p, u, override, alt).WriteWords(ev.bfsAdj[u*w : u*w+w])
+	}
+	if !ev.inst.undirected {
+		return
+	}
+	for v := 0; v < n; v++ {
+		bit := uint64(1) << uint(v&63)
+		wi := v >> 6
+		strategyOf(p, v, override, alt).ForEach(func(u int) bool {
+			ev.bfsAdj[u*w+wi] |= bit
+			return true
+		})
+	}
+}
+
+// ssspFrom computes shortest-path distances from src over the adjacency
+// built by the last prepare call, dispatching to the instance's kernel:
+// word-parallel BFS for uniform metrics, a Dial bucket queue for
+// small-integer metrics, and the indexed binary-heap Dijkstra
+// (decrease-key, so each vertex is popped exactly once) in general. All
+// kernels compute identical bits (see kernels.go). The result is valid
+// until the next ssspFrom or prepare call.
 func (ev *Evaluator) ssspFrom(src int) []float64 {
 	n := ev.inst.N()
+	switch ev.inst.kernel {
+	case kernelBFS:
+		w := bfsWords(n)
+		bfsUnitSSSP(ev.d, ev.bfsAdj, w, src, ev.inst.hopDist, ev.bfsFront[:w], ev.bfsNext[:w], ev.bfsVisited[:w])
+		return ev.d
+	case kernelDial:
+		// Tiny directed instances keep the unsorted-frontier loop below:
+		// Dial's empty-bucket scan costs O(max distance) ≥ O(span) per
+		// source, which dominates at a handful of vertices.
+		if n > smallFrontierMax {
+			var revHead, revTo []int32
+			var revW []float64
+			if ev.inst.undirected {
+				revHead, revTo, revW = ev.rev.head, ev.rev.to, ev.rev.w
+			}
+			dialSSSP(ev.d, &ev.dial, ev.inst.span, src, ev.fwd.head, ev.fwd.to, ev.fwd.w, revHead, revTo, revW)
+			return ev.d
+		}
+	}
 	d := ev.d
 	for i := range d {
 		d[i] = math.Inf(1)

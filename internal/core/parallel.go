@@ -87,6 +87,46 @@ func (pl *Pool) forEachSource(p Profile, stop func() bool, fn func(ev *Evaluator
 	wg.Wait()
 }
 
+// settleRestRows fills dst[src], for every src in srcs, with the SSSP
+// distances from src over profile p with peer skip's strategy emptied —
+// the "graph minus the deviating peer" rows behind DeviationBatch and
+// the BatchCache. Each worker prepares its own adjacency and claims
+// sources from a shared counter; every row lands in the slot indexed by
+// its source, so the result is byte-identical at any worker count (the
+// ordered-reduce convention).
+func (pl *Pool) settleRestRows(p Profile, skip int, srcs []int32, dst [][]float64) {
+	if len(pl.evs) == 1 || len(srcs) == 1 {
+		ev := pl.evs[0]
+		ev.prepare(p, skip, Strategy{})
+		for _, k := range srcs {
+			copy(dst[k], ev.ssspFrom(int(k)))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, ev := range pl.evs {
+		wg.Add(1)
+		go func(ev *Evaluator) {
+			defer wg.Done()
+			prepared := false
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(srcs) {
+					return
+				}
+				if !prepared {
+					ev.prepare(p, skip, Strategy{})
+					prepared = true
+				}
+				k := srcs[idx]
+				copy(dst[k], ev.ssspFrom(int(k)))
+			}
+		}(ev)
+	}
+	wg.Wait()
+}
+
 // PeerEvals returns every peer's enriched cost under p, in peer order.
 func (pl *Pool) PeerEvals(p Profile) []Eval {
 	out := make([]Eval, pl.Instance().N())

@@ -17,13 +17,19 @@ import (
 
 const diffTol = 1e-9
 
-// diffCase is one randomized instance/profile regime.
+// diffCase is one randomized instance/profile regime. space selects the
+// metric family — and with it the SSSP kernel the instance dispatches
+// to: "" or "points" (random 2-D points, heap), "unit" (uniform metric,
+// word-parallel BFS; unit scales the common distance, default 1),
+// "int" (random small-integer metric, Dial bucket queue).
 type diffCase struct {
 	name       string
 	n          int
 	linkProb   float64
 	undirected bool
 	gamma      float64
+	space      string
+	unit       float64
 }
 
 func diffCases() []diffCase {
@@ -37,15 +43,82 @@ func diffCases() []diffCase {
 		{name: "congested", n: 18, linkProb: 0.2, gamma: 0.7},
 		{name: "congested-undirected", n: 16, linkProb: 0.15, undirected: true, gamma: 1.3},
 		{name: "tiny", n: 3, linkProb: 0.5},
+		// Kernel-dispatch regimes: the BFS kernel across word-boundary
+		// sizes, non-integer units, undirectedness and disconnection…
+		{name: "bfs-directed", n: 40, linkProb: 0.1, space: "unit"},
+		{name: "bfs-word-boundary", n: 64, linkProb: 0.08, space: "unit"},
+		{name: "bfs-multiword", n: 70, linkProb: 0.05, space: "unit"},
+		{name: "bfs-scaled-unit", n: 33, linkProb: 0.12, space: "unit", unit: 0.37},
+		{name: "bfs-undirected", n: 29, linkProb: 0.1, space: "unit", undirected: true},
+		{name: "bfs-disconnected", n: 41, linkProb: 0.02, space: "unit"},
+		{name: "bfs-tiny", n: 5, linkProb: 0.4, space: "unit"},
+		// …the Dial kernel on random integer metrics…
+		{name: "dial-directed", n: 31, linkProb: 0.1, space: "int"},
+		{name: "dial-undirected", n: 27, linkProb: 0.1, space: "int", undirected: true},
+		{name: "dial-disconnected", n: 25, linkProb: 0.03, space: "int"},
+		// …and γ > 0 on both classes, which must fall back to the heap.
+		{name: "bfs-congested-fallback", n: 22, linkProb: 0.15, space: "unit", gamma: 0.5},
+		{name: "dial-congested-fallback", n: 22, linkProb: 0.15, space: "int", gamma: 0.9},
 	}
 }
 
-func buildDiffInstance(t *testing.T, r *rng.RNG, c diffCase) *Instance {
+// diffSpace builds the metric space for a case. Integer metrics draw
+// distances uniformly from [8, 16]: the max is at most twice the min,
+// so the triangle inequality holds for free.
+func diffSpace(t *testing.T, r *rng.RNG, c diffCase) metric.Space {
 	t.Helper()
-	space, err := metric.UniformPoints(r, c.n, 2)
+	switch c.space {
+	case "", "points":
+		space, err := metric.UniformPoints(r, c.n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return space
+	case "unit":
+		space, err := metric.Uniform(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.unit != 0 && c.unit != 1 {
+			scaled, err := metric.Scale(space, c.unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return scaled
+		}
+		return space
+	case "int":
+		return randomIntSpace(t, r, c.n, 8)
+	default:
+		t.Fatalf("unknown diff space %q", c.space)
+		return nil
+	}
+}
+
+// randomIntSpace builds a random symmetric integer metric with
+// distances in [lo, 2·lo].
+func randomIntSpace(t *testing.T, r *rng.RNG, n, lo int) metric.Space {
+	t.Helper()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(lo + r.Intn(lo+1))
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	space, err := metric.NewMatrixUnchecked(d)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return space
+}
+
+func buildDiffInstance(t *testing.T, r *rng.RNG, c diffCase, extra ...Option) *Instance {
+	t.Helper()
+	space := diffSpace(t, r, c)
 	opts := []Option{}
 	if c.undirected {
 		opts = append(opts, WithUndirected())
@@ -53,6 +126,7 @@ func buildDiffInstance(t *testing.T, r *rng.RNG, c diffCase) *Instance {
 	if c.gamma > 0 {
 		opts = append(opts, WithCongestion(c.gamma))
 	}
+	opts = append(opts, extra...)
 	inst, err := NewInstance(space, 2.5, opts...)
 	if err != nil {
 		t.Fatal(err)

@@ -221,6 +221,16 @@ type Config struct {
 	// OnStep forces sequential execution so callbacks never run
 	// concurrently. Single runs (Run) are unaffected.
 	Parallelism int
+	// BatchWorkers is the intra-step parallelism of deviation-batch
+	// construction: the n−1 rest-SSSP rows behind each best-response
+	// oracle call fan across a core.Pool of this many evaluator clones.
+	// 0 selects runtime.GOMAXPROCS(0) when n ≥ BatchParallelMinPeers and
+	// sequential below; 1 forces sequential. Rows land in slots indexed
+	// by source, so oracle answers — and therefore trajectories — are
+	// byte-identical at any width. Parallel replica fan-out (Converge /
+	// WorstEquilibrium / Replicas with more than one worker) forces
+	// per-run sequential batches so the two levels never multiply.
+	BatchWorkers int
 	// ForceFresh disables the incremental engine: every step recomputes
 	// peer evals and best responses from scratch, the pre-incremental
 	// behavior. Trajectories are byte-identical either way (the
@@ -305,10 +315,38 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		cfg.MaxSteps = 10_000
 	}
 	cfg.Policy.Reset()
+	// The pool is only consulted through NewDeviationBatch, so regimes
+	// that cannot serve a batch skip the attach entirely. A pool the
+	// caller already attached (e.g. replicaRuns reusing one across a
+	// sequential replica loop) is kept as-is.
+	if workers := batchWorkerCount(cfg.BatchWorkers, n); workers > 1 && ev.Pool() == nil && ev.Instance().SupportsBatchEval() {
+		ev.AttachPool(core.NewPool(ev.Instance(), workers))
+		defer ev.AttachPool(nil)
+	}
 	if cfg.ForceFresh || (!cfg.ForceIncremental && n < IncrementalMinPeers) {
 		return runFresh(ev, start, cfg)
 	}
 	return runIncremental(ev, start, cfg)
+}
+
+// BatchParallelMinPeers is the default size threshold for intra-step
+// parallel deviation-batch construction (Config.BatchWorkers = 0): a
+// batch build is n−1 independent SSSPs, and below a few hundred peers
+// the fan-out overhead eats what the extra cores win. The switch is
+// purely a performance heuristic — rows are reduced in source order,
+// so results are byte-identical at any width.
+const BatchParallelMinPeers = 256
+
+// batchWorkerCount resolves Config.BatchWorkers against the peer count.
+func batchWorkerCount(cfgWorkers, n int) int {
+	switch {
+	case cfgWorkers > 1:
+		return cfgWorkers
+	case cfgWorkers == 0 && n >= BatchParallelMinPeers:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
 }
 
 // IncrementalMinPeers is the default size threshold for the incremental
@@ -773,10 +811,24 @@ func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *
 	if cfg.OnStep != nil {
 		workers = 1 // callbacks must not fire concurrently
 	}
+	if workers > 1 {
+		// Replica-level parallelism already saturates the cores; nested
+		// per-run batch pools would only multiply goroutines. Results are
+		// byte-identical at any batch width, so this is purely perf.
+		for k := range reps {
+			reps[k].cfg.BatchWorkers = 1
+		}
+	}
 
 	results := make([]Result, runs)
 	errs := make([]error, runs)
 	if workers == 1 {
+		// Sequential replicas share one batch pool instead of each Run
+		// rebuilding it (and re-warming its clones' arenas) per replica.
+		if bw := batchWorkerCount(cfg.BatchWorkers, n); bw > 1 && ev.Pool() == nil && ev.Instance().SupportsBatchEval() {
+			ev.AttachPool(core.NewPool(ev.Instance(), bw))
+			defer ev.AttachPool(nil)
+		}
 		for k := range reps {
 			results[k], errs[k] = Run(ev, reps[k].start, reps[k].cfg)
 		}

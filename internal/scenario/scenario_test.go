@@ -164,6 +164,7 @@ func TestRunSpecParamOverrides(t *testing.T) {
 func TestFamilyAndStartListsMatchBuild(t *testing.T) {
 	buildable := map[string]MetricSpec{
 		"uniform":   {Family: "uniform", N: 4},
+		"unit":      {Family: "unit", N: 4},
 		"clustered": {Family: "clustered", N: 6},
 		"line":      {Family: "line", Positions: []float64{0, 1, 3}},
 		"exp-line":  {Family: "exp-line", N: 4},

@@ -46,8 +46,12 @@ type Spec struct {
 
 // MetricSpec describes a metric-space family plus its size parameters.
 type MetricSpec struct {
-	// Family is one of "uniform", "clustered", "line", "exp-line",
-	// "ring", "grid", "points".
+	// Family is one of "uniform", "unit", "clustered", "line",
+	// "exp-line", "ring", "grid", "points". "uniform" draws random
+	// points in the unit cube; "unit" is the uniform *metric* (every
+	// pair at distance 1, the hop-count world), which the evaluation
+	// core serves with its word-parallel BFS kernel — the family for
+	// large-n scaling scenarios.
 	Family string `json:"family"`
 	// N is the peer count for sized families (uniform, clustered,
 	// exp-line, ring).
@@ -81,7 +85,7 @@ func (m MetricSpec) isZero() bool {
 // n-axis); families with explicit coordinates or grid shape do not.
 func (m MetricSpec) Sizeable() bool {
 	switch m.Family {
-	case "uniform", "clustered", "exp-line", "ring":
+	case "uniform", "unit", "clustered", "exp-line", "ring":
 		return true
 	}
 	return false
@@ -111,6 +115,8 @@ func (m MetricSpec) Build(r *rng.RNG, alpha float64) (metric.Space, error) {
 			dim = 2
 		}
 		return metric.UniformPoints(r, m.N, dim)
+	case "unit":
+		return metric.Uniform(m.N)
 	case "clustered":
 		k := m.Clusters
 		if k == 0 {
@@ -158,6 +164,11 @@ type GameSpec struct {
 	// Gamma enables congestion-aware link costs (γ > 0); 0 is the
 	// paper's model.
 	Gamma float64 `json:"gamma,omitempty"`
+	// Kernel pins the SSSP kernel: "" or "auto" (dispatch on the metric
+	// class), "heap", "bfs", "dial". All kernels are exact, so this is
+	// an ablation/diagnostic knob; pinning a specialized kernel on an
+	// instance that does not admit it fails at build time.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Options translates the spec into core instance options.
@@ -175,6 +186,9 @@ func (g GameSpec) Options() ([]core.Option, error) {
 	}
 	if g.Gamma != 0 {
 		opts = append(opts, core.WithCongestion(g.Gamma))
+	}
+	if g.Kernel != "" {
+		opts = append(opts, core.WithKernel(g.Kernel))
 	}
 	return opts, nil
 }
@@ -269,6 +283,12 @@ type DynamicsSpec struct {
 	// produce byte-identical trajectories; the choice only affects
 	// wall-clock.
 	Engine string `json:"engine,omitempty"`
+	// BatchWorkers is the intra-step parallelism of deviation-batch
+	// construction (dynamics.Config.BatchWorkers): 0 selects all cores
+	// at n ≥ dynamics.BatchParallelMinPeers and sequential below, 1
+	// forces sequential, larger values pin the width. Byte-identical
+	// results at any value.
+	BatchWorkers int `json:"batch_workers,omitempty"`
 }
 
 // engineFlags maps a DynamicsSpec engine name onto the dynamics Config
@@ -318,8 +338,8 @@ func OracleByName(name string) (bestresponse.Oracle, error) {
 
 // validFamilies lists the metric families MetricSpec.Build accepts.
 var validFamilies = map[string]bool{
-	"uniform": true, "clustered": true, "line": true, "exp-line": true,
-	"ring": true, "grid": true, "points": true,
+	"uniform": true, "unit": true, "clustered": true, "line": true,
+	"exp-line": true, "ring": true, "grid": true, "points": true,
 }
 
 // validStartKinds lists the start kinds StartSpec.Build accepts.
@@ -357,6 +377,12 @@ func (s Spec) Validate() error {
 	}
 	if _, err := s.Game.Options(); err != nil {
 		return err
+	}
+	if !core.ValidKernelName(s.Game.Kernel) {
+		return fmt.Errorf("scenario: unknown kernel %q (want auto, heap, bfs or dial)", s.Game.Kernel)
+	}
+	if s.Dynamics.BatchWorkers < 0 {
+		return fmt.Errorf("scenario: spec %q has negative dynamics.batch_workers %d", s.Name, s.Dynamics.BatchWorkers)
 	}
 	if _, err := PolicyByName(s.Dynamics.Policy); err != nil {
 		return err
