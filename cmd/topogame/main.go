@@ -209,7 +209,11 @@ func runSpec(args []string) error {
 		if err != nil {
 			return err
 		}
-		return spec.WriteJSON(os.Stdout)
+		// Emit the canonical (normalized) form — the same shape the
+		// engine executes, the golden tests pin and the topogamed result
+		// cache hashes — so an emitted spec is stable under re-emission
+		// and round-trips through `spec <file>` byte-identically.
+		return spec.Normalize().WriteJSON(os.Stdout)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: topogame spec [flags] <file.json|->  (or -emit <id>)")

@@ -1,0 +1,113 @@
+// Command topogamed serves the scenario engine over HTTP: synchronous
+// spec execution behind a content-addressed result cache, asynchronous
+// sweep jobs drained by a bounded worker pool, the experiment catalog,
+// and operational counters. See internal/serve for the API.
+//
+//	topogamed -addr :8080 -workers 4 -state jobs.json
+//
+//	curl localhost:8080/v1/catalog
+//	curl -X POST localhost:8080/v1/run -d '{"experiment": "e4-poa", "quick": true}'
+//	curl -X POST localhost:8080/v1/sweep -d @grid.json
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// in-flight jobs drain (bounded by -drain-timeout, after which they
+// are cancelled at the next grid-point boundary), and job states
+// persist to -state for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "selfishnet/internal/experiments" // register the 13 paper runners
+	"selfishnet/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "topogamed:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled (signal) and
+// shutdown completes. ready, when non-nil, receives the bound address
+// once the listener accepts connections — the test hook for -addr :0.
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("topogamed", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "async sweep job workers")
+	queue := fs.Int("queue", 256, "max queued jobs (submissions beyond are rejected)")
+	cache := fs.Int("cache", 256, "result cache entries (LRU)")
+	maxJobs := fs.Int("max-jobs", 1024, "job retention bound (oldest finished jobs pruned beyond it)")
+	runPar := fs.Int("run-par", 0, "internal fan-out of synchronous runs (0 = all cores)")
+	pointPar := fs.Int("point-par", 0, "grid fan-out inside one sweep job (0 = all cores)")
+	state := fs.String("state", "", "persist job states to this file across restarts")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		MaxJobs:          *maxJobs,
+		RunParallelism:   *runPar,
+		PointParallelism: *pointPar,
+		StatePath:        *state,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("topogamed: listening on %s (workers %d, cache %d entries)", ln.Addr(), *workers, *cache)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed outright; still drain whatever got submitted.
+		closeCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		return errors.Join(err, srv.Close(closeCtx))
+	case <-ctx.Done():
+	}
+
+	log.Printf("topogamed: shutting down (drain timeout %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("topogamed: http shutdown: %v", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		return err
+	}
+	log.Printf("topogamed: drained cleanly")
+	return nil
+}

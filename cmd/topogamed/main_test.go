@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer boots topogamed on a loopback port and returns its base
+// URL plus a shutdown function that triggers the graceful path and
+// waits for run to return.
+func startServer(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(ctx, args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(60 * time.Second):
+				t.Fatal("shutdown did not complete")
+				return nil
+			}
+		}
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before ready: %v", err)
+		return "", nil
+	}
+}
+
+// TestTopogamedLifecycle drives the binary end to end: healthz,
+// catalog, a cached run (byte-identical second response), and a
+// graceful SIGTERM-equivalent shutdown with state persistence.
+func TestTopogamedLifecycle(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+	base, shutdown := startServer(t, "-workers", "1", "-state", state)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(catalog, []byte("e4-poa")) {
+		t.Errorf("catalog missing e4-poa: %s", catalog)
+	}
+
+	spec := `{"experiment": "e2-fig1", "quick": true}`
+	var bodies [][]byte
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, resp.StatusCode, b)
+		}
+		bodies = append(bodies, b)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("repeated run not byte-identical")
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+
+	// The state file exists and a fresh boot loads it.
+	base2, shutdown2 := startServer(t, "-state", state)
+	resp, err = http.Get(base2 + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestTopogamedFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, nil); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run(context.Background(), []string{"stray"}, nil); err == nil {
+		t.Error("stray argument should error")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, nil); err == nil {
+		t.Error("unbindable address should error")
+	}
+}

@@ -5,6 +5,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/dynamics"
+	"selfishnet/internal/export"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/nash"
 )
 
 func TestTopovizFig1Formats(t *testing.T) {
@@ -73,6 +79,62 @@ func TestTopovizModeErrors(t *testing.T) {
 	}
 	if err := run([]string{"-file", "missing.json"}, &strings.Builder{}); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestTopovizEquilibriumSmoke renders a small converged equilibrium —
+// best-response dynamics on a 5-peer line, dumped to an instance doc —
+// in every format, and asserts the output is non-empty and stable
+// (byte-identical across invocations), the contract figures in docs
+// and papers rely on.
+func TestTopovizEquilibriumSmoke(t *testing.T) {
+	space, err := metric.Line([]float64{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	res, err := dynamics.Run(ev, core.NewProfile(inst.N()), dynamics.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("dynamics did not converge on the 5-peer line")
+	}
+	ok, err := nash.IsNash(ev, res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("converged profile is not a Nash equilibrium")
+	}
+
+	path := filepath.Join(t.TempDir(), "equilibrium.json")
+	var doc strings.Builder
+	if err := export.DocFor(inst, res.Final).WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(doc.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"ascii", "dot", "svg", "json"} {
+		render := func() string {
+			var out strings.Builder
+			if err := run([]string{"-file", path, "-format", format}, &out); err != nil {
+				t.Fatalf("%s: %v", format, err)
+			}
+			return out.String()
+		}
+		first, second := render(), render()
+		if first == "" {
+			t.Errorf("%s output is empty", format)
+		}
+		if first != second {
+			t.Errorf("%s output is not stable across invocations", format)
+		}
 	}
 }
 

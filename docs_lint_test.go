@@ -1,0 +1,68 @@
+package selfishnet_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocsLint is the documentation gate run by CI: every package in
+// the module — the root library, each internal/* package and each
+// command — must carry a package (or command) doc comment on at least
+// one of its non-test files. godoc is the API contract of the layer
+// stack (see ARCHITECTURE.md), so an undocumented package fails the
+// build, not just a review.
+func TestDocsLint(t *testing.T) {
+	// dir → set of files that declare a package clause without any doc.
+	type pkgInfo struct {
+		files      []string
+		documented bool
+	}
+	pkgs := map[string]*pkgInfo{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != "." || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		info := pkgs[dir]
+		if info == nil {
+			info = &pkgInfo{}
+			pkgs[dir] = info
+		}
+		info.files = append(info.files, path)
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			info.documented = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("docs lint walked only %d packages — wrong working directory?", len(pkgs))
+	}
+	for dir, info := range pkgs {
+		if !info.documented {
+			t.Errorf("package %s has no package doc comment on any of: %s",
+				dir, strings.Join(info.files, ", "))
+		}
+	}
+}

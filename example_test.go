@@ -40,6 +40,25 @@ func ExampleRunDynamics() {
 	// max stretch: 1
 }
 
+// A Session caches evaluator state across queries on one game, so a
+// sequence of operations (costs, Nash checks, dynamics) reuses the
+// SSSP scratch buffers instead of reallocating them per call — the
+// handle to use for anything beyond a one-shot query.
+func ExampleSession() {
+	space, _ := selfishnet.Line([]float64{0, 1, 2, 3})
+	game, _ := selfishnet.NewGame(space, 2)
+	s := selfishnet.NewSession(game)
+
+	res, _ := s.RunDynamics(selfishnet.EmptyProfile(4), selfishnet.DynamicsConfig{})
+	ok, _ := s.IsNash(res.Final)
+	fmt.Println("converged to Nash:", res.Converged && ok)
+	fmt.Printf("social cost: %.0f, max stretch: %.0f\n",
+		s.SocialCost(res.Final).Total(), s.MaxStretch(res.Final))
+	// Output:
+	// converged to Nash: true
+	// social cost: 24, max stretch: 1
+}
+
 // The paper's Figure 1 lower-bound topology is a pure Nash equilibrium
 // for α ≥ 3.4 (Lemma 4.2) while costing Θ(αn²) (Lemma 4.3).
 func ExampleNewFigure1() {

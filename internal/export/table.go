@@ -147,6 +147,17 @@ func (t *Table) WriteJSON(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// ParseTableJSON decodes the WriteJSON form back into a Table — the
+// inverse kept next to tableDoc so the JSON shape lives in one place
+// (the serve layer re-streams cached table bodies through it).
+func ParseTableJSON(b []byte) (*Table, error) {
+	var doc tableDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("export: decoding table: %w", err)
+	}
+	return &Table{Title: doc.Title, Headers: doc.Headers, Rows: doc.Rows, Notes: doc.Notes}, nil
+}
+
 // WriteJSONTables renders several tables as one indented JSON array, so
 // multi-experiment output stays parseable as a single document.
 func WriteJSONTables(w io.Writer, tables []*Table) error {

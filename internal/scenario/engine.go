@@ -94,8 +94,14 @@ func (o *outcome) topoStats() (analysis.TopologyStats, error) {
 // runDeclarative executes a validated declarative spec. parallelism is
 // the internal replica fan-out width (0 = all cores); it never changes
 // the outcome, only wall-clock.
+//
+// The spec is normalized first (Spec.Normalize), so defaulting lives in
+// exactly one place and a spec executes identically to its canonical
+// form — the invariant the serve layer's content-addressed cache rests
+// on.
 func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
-	seed := EffectiveSeed(spec.Seed)
+	spec = spec.Normalize()
+	seed := spec.Seed
 	r := rng.New(seed)
 	inst, err := spec.Instance(r)
 	if err != nil {
@@ -104,21 +110,7 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 	ev := core.NewEvaluator(inst)
 
 	runs := spec.Dynamics.Runs
-	if runs <= 0 {
-		runs = 1
-	}
 	maxSteps := spec.Dynamics.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 5000
-	}
-	if spec.Quick {
-		if runs > 2 {
-			runs = 2
-		}
-		if maxSteps > 1500 {
-			maxSteps = 1500
-		}
-	}
 	policy, err := PolicyByName(spec.Dynamics.Policy)
 	if err != nil {
 		return nil, err
@@ -171,13 +163,10 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 	}
 
 	// Replica mode: Start is ignored; runs start from random profiles of
-	// density LinkProb, exactly like the Converge/WorstEquilibrium
-	// drivers (bit-identical at every parallelism width).
-	linkProb := spec.Dynamics.LinkProb
-	if linkProb == 0 {
-		linkProb = 0.3
-	}
-	results, err := dynamics.Replicas(ev, cfg, runs, linkProb, r)
+	// density LinkProb (made explicit by Normalize), exactly like the
+	// Converge/WorstEquilibrium drivers (bit-identical at every
+	// parallelism width).
+	results, err := dynamics.Replicas(ev, cfg, runs, spec.Dynamics.LinkProb, r)
 	if err != nil {
 		return nil, err
 	}

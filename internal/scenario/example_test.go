@@ -1,0 +1,35 @@
+package scenario_test
+
+import (
+	"os"
+	"strings"
+
+	"selfishnet/internal/scenario"
+)
+
+// A declarative Spec describes one full workload — metric space, game,
+// start profile, dynamics, measures — as data. The same JSON runs
+// through `topogame spec`, POST /v1/run on topogamed, and this API.
+func ExampleSpec() {
+	spec, err := scenario.ReadSpec(strings.NewReader(`{
+		"name": "line-demo",
+		"metric": {"family": "line", "positions": [0, 1, 2, 3]},
+		"game": {"alpha": 2},
+		"measures": ["converged", "links", "social-cost", "nash"]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	table, err := scenario.RunSpec(spec, scenario.Params{})
+	if err != nil {
+		panic(err)
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// == line-demo ==
+	// n  alpha  gamma  seed  converged  links  social-cost  nash
+	// -  -----  -----  ----  ---------  -----  -----------  ----
+	// 4  2      0      1     1          6      24           true
+}

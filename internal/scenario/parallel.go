@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,11 +41,23 @@ func splitBudget(requested, tasks, explicitInner int) (workers, inner int) {
 // by i and reduce in index order, which is what keeps every scenario
 // table bit-identical at any width.
 func forEachIndex(n, workers int, fn func(int)) {
+	forEachIndexCtx(context.Background(), n, workers, fn)
+}
+
+// forEachIndexCtx is forEachIndex with cooperative cancellation: ctx is
+// polled before each index is claimed, so a cancelled context stops new
+// work while indices already claimed run to completion (the "drain
+// in-flight" convention the serve layer's job cancellation relies on).
+// It reports whether every index ran.
+func forEachIndexCtx(ctx context.Context, n, workers int, fn func(int)) bool {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return false
+			}
 			fn(i)
 		}
-		return
+		return true
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -52,7 +65,7 @@ func forEachIndex(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -62,4 +75,8 @@ func forEachIndex(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	// next ≥ n means every index was claimed (and, after Wait, ran to
+	// completion) before cancellation stopped the workers — a cancel
+	// that lands after the last claim must not report an aborted run.
+	return int(next.Load()) >= n
 }

@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"selfishnet/internal/export"
 )
@@ -126,6 +128,19 @@ func (sw Sweep) Points() []Spec {
 // Params.Seed is ignored (the seed axis owns seeding); Params.Quick
 // trims every point.
 func (sw Sweep) Run(p Params, parallelism int) (*export.Table, error) {
+	return sw.RunContext(context.Background(), p, parallelism, nil)
+}
+
+// RunContext is Run with cooperative cancellation and progress
+// reporting, the entry point of the serve layer's async sweep jobs.
+// ctx is checked between grid points: on cancellation, points already
+// started run to completion (drain semantics) and the error is
+// ctx.Err(). progress, when non-nil, is called after each completed
+// point with the number of finished points and the grid size; calls
+// are serialized but arrive in completion order, not grid order.
+// Neither ctx nor progress affects the result table: a run that
+// completes is byte-identical to Run at any parallelism width.
+func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progress func(done, total int)) (*export.Table, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,7 +154,9 @@ func (sw Sweep) Run(p Params, parallelism int) (*export.Table, error) {
 	rows := make([][]string, len(points))
 	errs := make([]error, len(points))
 	cutOff := make([]bool, len(points))
-	forEachIndex(len(points), workers, func(i int) {
+	var progressMu sync.Mutex
+	finished := 0
+	complete := forEachIndexCtx(ctx, len(points), workers, func(i int) {
 		spec := points[i]
 		if p.Quick {
 			spec.Quick = true
@@ -151,7 +168,19 @@ func (sw Sweep) Run(p Params, parallelism int) (*export.Table, error) {
 		}
 		cutOff[i] = out.nonEquilibrium
 		rows[i], errs[i] = out.row(measures)
+		if progress != nil {
+			// Count inside the critical section so reported progress is
+			// monotone: increment-then-lock would let a slower worker
+			// report a smaller count after a faster one.
+			progressMu.Lock()
+			finished++
+			progress(finished, len(points))
+			progressMu.Unlock()
+		}
 	})
+	if !complete {
+		return nil, fmt.Errorf("scenario: sweep %q: %w", sw.Name, ctx.Err())
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: sweep point %d: %w", i, err)

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func contextSweep() Sweep {
+	return Sweep{
+		Name:   "ctx-sweep",
+		Base:   Spec{Quick: true, Metric: MetricSpec{Family: "uniform", N: 6}, Game: GameSpec{Alpha: 1}},
+		Alphas: []float64{0.5, 1, 2, 4},
+		Seeds:  []uint64{1, 2},
+	}
+}
+
+// TestSweepRunContextMatchesRun pins that the async entry point renders
+// byte-identically to the synchronous one and reports full progress.
+func TestSweepRunContextMatchesRun(t *testing.T) {
+	sw := contextSweep()
+	sync, err := sw.Run(Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last, calls int
+	async, err := sw.RunContext(context.Background(), Params{}, 4, func(done, total int) {
+		calls++
+		last = done
+		if total != 8 {
+			t.Errorf("progress total = %d, want 8", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := sync.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := async.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("RunContext table differs from Run:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if calls != 8 || last != 8 {
+		t.Errorf("progress: %d calls, last done = %d, want 8/8", calls, last)
+	}
+}
+
+func TestSweepRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no point may run
+	ran := false
+	_, err := contextSweep().RunContext(ctx, Params{}, 2, func(done, total int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("cancelled sweep reported progress")
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed LRU of rendered response bodies.
+// Keys are canonical hashes (scenario.Spec.Hash / Sweep.Hash), values
+// are the exact bytes served to the first requester, so a hit is
+// byte-identical to the original response by construction.
+//
+// The cache is bounded by entry count; eviction is least-recently-used
+// (get refreshes recency). Two concurrent misses on the same key both
+// compute the result — the engine is deterministic, so they produce the
+// same bytes and the second put is a harmless overwrite; a singleflight
+// layer would save CPU but never changes responses.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	entries   map[string]*list.Element
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key. The returned slice is shared:
+// callers must not mutate it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting least-recently-used entries past
+// the capacity bound. Storing an existing key refreshes its body and
+// recency.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// cacheStats is the snapshot reported under /metrics.
+type cacheStats struct {
+	Entries   int64 `json:"cache_entries"`
+	Capacity  int64 `json:"cache_capacity"`
+	Bytes     int64 `json:"cache_bytes"`
+	Hits      int64 `json:"cache_hits"`
+	Misses    int64 `json:"cache_misses"`
+	Evictions int64 `json:"cache_evictions"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   int64(c.order.Len()),
+		Capacity:  int64(c.capacity),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

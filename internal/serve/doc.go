@@ -1,0 +1,42 @@
+// Package serve exposes the scenario engine as a long-running HTTP
+// service (cmd/topogamed): synchronous spec execution with a
+// content-addressed result cache, asynchronous sweep jobs drained by a
+// bounded worker pool, the experiment catalog, and expvar-style
+// operational counters.
+//
+// # Endpoints
+//
+//	POST /v1/run                 execute a scenario.Spec, return its table as JSON
+//	POST /v1/runall              execute catalog ids, stream a JSON array of tables
+//	POST /v1/sweep               submit a scenario.Sweep as an async job (202 + job doc)
+//	GET  /v1/jobs                list jobs in submission order
+//	GET  /v1/jobs/{id}           job status, progress and (when done) the result
+//	GET  /v1/jobs/{id}/result    exactly the result table JSON (topogame sweep -json bytes)
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job (drain semantics)
+//	GET  /v1/catalog             the experiment registry with descriptions and canonical specs
+//	GET  /healthz                liveness + job/queue summary
+//	GET  /metrics                flat JSON counters (cache, runs, jobs, workers)
+//
+// # Content addressing
+//
+// Results are cached under the canonical hash of the request
+// (scenario.Spec.Hash / scenario.Sweep.Hash): specs are normalized
+// (Spec.Normalize — defaulting, EffectiveSeed, quick trims) before
+// hashing, and the engine is deterministic given a normalized spec, so
+// equal hashes imply byte-identical tables. The cache stores rendered
+// response bodies, which makes repeated identical requests O(1) and —
+// because cached bytes are served verbatim — byte-identical to the
+// first response. Sweep submissions dedup the same way: re-submitting
+// a sweep whose hash matches a queued, running or completed job
+// returns that job instead of queuing a duplicate. The job store is
+// bounded (Config.MaxJobs): oldest finished jobs are pruned, after
+// which their ids 404 and their hashes stop dedupping.
+//
+// # Determinism and parallelism
+//
+// All parallelism (worker pool width, per-job grid fan-out, /v1/run
+// internal replica fan-out) follows the core.Pool conventions: work is
+// claimed from shared counters and reduced in index order, so every
+// response body is byte-identical at any width. The httptest suite
+// pins this by running the same sweeps at worker widths 1 and 8.
+package serve

@@ -1,0 +1,49 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	_ "selfishnet/internal/experiments" // register the 13 paper runners
+	"selfishnet/internal/serve"
+)
+
+// The canonical client path: stand the service up, POST the same spec
+// twice, and observe the second response coming back from the
+// content-addressed cache with identical bytes.
+func ExampleServer() {
+	srv, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	}()
+
+	spec := `{"metric": {"family": "line", "positions": [0, 1, 2]}, "game": {"alpha": 2}}`
+	var bodies []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(spec))
+		if err != nil {
+			panic(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		bodies = append(bodies, string(b))
+		fmt.Printf("request %d: X-Cache %s\n", i+1, resp.Header.Get("X-Cache"))
+	}
+	fmt.Println("byte-identical:", bodies[0] == bodies[1])
+	// Output:
+	// request 1: X-Cache miss
+	// request 2: X-Cache hit
+	// byte-identical: true
+}

@@ -1,0 +1,567 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"selfishnet/internal/scenario"
+)
+
+// JobState is the lifecycle state of an async sweep job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing grid points.
+	JobRunning JobState = "running"
+	// JobDone: completed; the result table is available.
+	JobDone JobState = "done"
+	// JobFailed: a grid point errored; Error holds the message.
+	JobFailed JobState = "failed"
+	// JobCancelled: cancelled before completion (directly or by
+	// shutdown); points already finished are discarded.
+	JobCancelled JobState = "cancelled"
+)
+
+// JobDoc is the JSON document describing one job, returned by the job
+// endpoints and persisted across restarts. Result is the exact bytes of
+// the sweep's table JSON (`topogame sweep -json`), present once the job
+// is done — in the single-job endpoints only; the /v1/jobs listing
+// omits it so listing payloads stay bounded.
+type JobDoc struct {
+	ID       string          `json:"id"`
+	Hash     string          `json:"hash"`
+	State    JobState        `json:"state"`
+	Progress JobProgress     `json:"progress"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Sweep    scenario.Sweep  `json:"sweep"`
+}
+
+// JobProgress counts completed grid points out of the sweep's total.
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// job is the manager's mutable record behind a JobDoc.
+type job struct {
+	mu     sync.Mutex
+	doc    JobDoc
+	cancel context.CancelFunc // non-nil while cancellable
+	ctx    context.Context
+}
+
+// snapshot returns a copy of the doc safe to encode concurrently.
+func (j *job) snapshot() JobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := j.doc
+	return doc
+}
+
+var (
+	errDraining  = errors.New("serve: server is shutting down")
+	errQueueFull = errors.New("serve: job queue is full")
+)
+
+// jobManager owns the async sweep jobs: a bounded FIFO of pending jobs
+// drained by a fixed pool of workers, content-addressed dedup,
+// cancellation, retention pruning and state persistence for graceful
+// shutdown. The pending queue is a slice guarded by mu + cond rather
+// than a channel so that cancelling a queued job frees its capacity
+// slot immediately (a buffered channel would keep cancelled jobs
+// occupying slots until a worker drained them, rejecting legitimate
+// submissions as queue-full).
+type jobManager struct {
+	pointParallelism int
+	queueDepth       int
+	maxJobs          int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled on pending push and on close
+	pending  []*job     // FIFO of queued jobs awaiting a worker
+	jobs     map[string]*job
+	order    []string          // submission order, for stable listings
+	byHash   map[string]string // hash → live job id (queued/running/done)
+	nextID   int64
+	draining bool
+
+	wg      sync.WaitGroup
+	workers int64
+	busy    atomic.Int64
+
+	submitted atomic.Int64
+	deduped   atomic.Int64
+	cancelled atomic.Int64
+	pruned    atomic.Int64
+}
+
+func newJobManager(workers, queueDepth, maxJobs, pointParallelism int) *jobManager {
+	m := &jobManager{
+		pointParallelism: pointParallelism,
+		queueDepth:       queueDepth,
+		maxJobs:          maxJobs,
+		jobs:             make(map[string]*job),
+		byHash:           make(map[string]string),
+		workers:          int64(workers),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.workerLoop()
+		}()
+	}
+	return m
+}
+
+// workerLoop pops pending jobs until close broadcasts the drain.
+func (m *jobManager) workerLoop() {
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			// draining with nothing left: exit.
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runJob(j)
+	}
+}
+
+// submit registers a sweep under its canonical hash. A hash matching a
+// queued, running or done job dedups onto that job (failed and
+// cancelled jobs do not block resubmission). The sweep must already be
+// validated and have quick-mode folded into its base.
+func (m *jobManager) submit(sw scenario.Sweep, hash string) (*job, bool, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, false, errDraining
+	}
+	if id, ok := m.byHash[hash]; ok {
+		j := m.jobs[id]
+		m.mu.Unlock()
+		m.deduped.Add(1)
+		return j, true, nil
+	}
+	if len(m.pending) >= m.queueDepth {
+		m.mu.Unlock()
+		return nil, false, errQueueFull
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		doc: JobDoc{
+			ID:       fmt.Sprintf("job-%d", m.nextID),
+			Hash:     hash,
+			State:    JobQueued,
+			Progress: JobProgress{Total: len(sw.Points())},
+			Sweep:    sw,
+		},
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	m.jobs[j.doc.ID] = j
+	m.order = append(m.order, j.doc.ID)
+	m.byHash[hash] = j.doc.ID
+	m.pending = append(m.pending, j)
+	m.pruneLocked()
+	m.cond.Signal()
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	return j, false, nil
+}
+
+// pruneLocked evicts the oldest terminal jobs (done, failed,
+// cancelled) once the store exceeds maxJobs, bounding memory, the
+// state file and listing payloads. Live jobs are never pruned, so the
+// store can exceed the bound while everything in it is still queued or
+// running. Callers hold m.mu; no path acquires m.mu while holding a
+// job's mutex, so taking j.mu per job here cannot deadlock.
+func (m *jobManager) pruneLocked() {
+	if m.maxJobs <= 0 || len(m.order) <= m.maxJobs {
+		return
+	}
+	excess := len(m.order) - m.maxJobs
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		state, hash := j.doc.State, j.doc.Hash
+		j.mu.Unlock()
+		terminal := state == JobDone || state == JobFailed || state == JobCancelled
+		if excess > 0 && terminal {
+			delete(m.jobs, id)
+			if m.byHash[hash] == id {
+				delete(m.byHash, hash)
+			}
+			excess--
+			m.pruned.Add(1)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// get returns the job with the given id.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list returns job snapshots in submission order, with result bodies
+// omitted: the listing would otherwise grow with every completed job
+// (results persist across restarts), and per-job results are served by
+// GET /v1/jobs/{id} and /v1/jobs/{id}/result.
+func (m *jobManager) list() []JobDoc {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	docs := make([]JobDoc, len(jobs))
+	for i, j := range jobs {
+		docs[i] = j.snapshot()
+		docs[i].Result = nil
+	}
+	return docs
+}
+
+// requestCancel moves a queued job straight to cancelled and asks a
+// running job to stop at its next grid-point boundary (drain
+// semantics: points already started finish, the result is discarded).
+// It reports whether the job was still cancellable.
+func (m *jobManager) requestCancel(j *job, reason string) bool {
+	j.mu.Lock()
+	switch j.doc.State {
+	case JobQueued:
+		j.doc.State = JobCancelled
+		j.doc.Error = reason
+		cancel := j.cancel
+		j.cancel = nil
+		j.mu.Unlock()
+		cancel() // if a worker popped it first, runJob will skip it
+		m.unqueue(j)
+		m.dropHash(j)
+		m.cancelled.Add(1)
+		return true
+	case JobRunning:
+		// State transitions when RunContext returns; a sweep that
+		// completes before noticing the cancel stays done — cancellation
+		// is best-effort by design.
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// unqueue removes a job from the pending FIFO (if a worker has not
+// popped it yet), freeing its queue-capacity slot immediately.
+func (m *jobManager) unqueue(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropHash removes the job's dedup mapping (terminal failure states
+// must not block resubmission).
+func (m *jobManager) dropHash(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.byHash[j.doc.Hash] == j.doc.ID {
+		delete(m.byHash, j.doc.Hash)
+	}
+}
+
+// runJob executes one popped job on the calling worker goroutine.
+func (m *jobManager) runJob(j *job) {
+	j.mu.Lock()
+	if j.doc.State != JobQueued {
+		// Cancelled while queued.
+		j.mu.Unlock()
+		return
+	}
+	j.doc.State = JobRunning
+	sw := j.doc.Sweep
+	ctx := j.ctx
+	j.mu.Unlock()
+
+	m.busy.Add(1)
+	defer m.busy.Add(-1)
+
+	table, err := sw.RunContext(ctx, scenario.Params{}, m.pointParallelism, func(done, total int) {
+		j.mu.Lock()
+		j.doc.Progress = JobProgress{Done: done, Total: total}
+		j.mu.Unlock()
+	})
+
+	var result []byte
+	if err == nil {
+		var buf bytes.Buffer
+		if werr := table.WriteJSON(&buf); werr != nil {
+			err = werr
+		} else {
+			result = buf.Bytes()
+		}
+	}
+
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.doc.State = JobDone
+		j.doc.Result = result
+		j.doc.Progress.Done = j.doc.Progress.Total
+		j.mu.Unlock()
+	case errors.Is(err, context.Canceled):
+		j.doc.State = JobCancelled
+		j.doc.Error = "cancelled while running"
+		j.mu.Unlock()
+		m.dropHash(j)
+		m.cancelled.Add(1)
+	default:
+		j.doc.State = JobFailed
+		j.doc.Error = err.Error()
+		j.mu.Unlock()
+		m.dropHash(j)
+	}
+}
+
+// close drains the manager for graceful shutdown: intake stops (submit
+// returns errDraining), queued jobs are pulled back so they persist as
+// queued instead of racing the workers, and in-flight jobs run to
+// completion. If ctx expires first, running jobs are cancelled and
+// awaited (RunContext stops at the next grid-point boundary). close
+// always waits for every worker to exit.
+func (m *jobManager) close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	// Strip the pending FIFO so workers stop picking up new work; the
+	// jobs stay registered in state queued for persistence (they
+	// re-enqueue on the next start).
+	m.pending = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: shutdown deadline hit, cancelling %d running job(s)", m.busy.Load())
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			cancel := j.cancel
+			j.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// jobStats summarizes the job universe for /healthz and /metrics.
+type jobStats struct {
+	Submitted  int64 `json:"jobs_submitted"`
+	Deduped    int64 `json:"jobs_deduped"`
+	Cancelled  int64 `json:"jobs_cancelled"`
+	Pruned     int64 `json:"jobs_pruned"`
+	Queued     int64 `json:"jobs_queued"`
+	Running    int64 `json:"jobs_running"`
+	Done       int64 `json:"jobs_done"`
+	Failed     int64 `json:"jobs_failed"`
+	Workers    int64 `json:"workers_total"`
+	Busy       int64 `json:"workers_busy"`
+	QueueDepth int64 `json:"queue_depth"`
+	QueueCap   int64 `json:"queue_capacity"`
+}
+
+func (m *jobManager) stats() jobStats {
+	st := jobStats{
+		Submitted: m.submitted.Load(),
+		Deduped:   m.deduped.Load(),
+		Pruned:    m.pruned.Load(),
+		Workers:   m.workers,
+		Busy:      m.busy.Load(),
+		QueueCap:  int64(m.queueDepth),
+	}
+	m.mu.Lock()
+	st.QueueDepth = int64(len(m.pending))
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		switch j.snapshot().State {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		}
+	}
+	st.Cancelled = m.cancelled.Load()
+	return st
+}
+
+// persistedState is the on-disk JSON form of the job universe.
+type persistedState struct {
+	NextID int64          `json:"next_id"`
+	Jobs   []persistedJob `json:"jobs"`
+}
+
+// persistedJob mirrors JobDoc with the result as raw bytes (base64 in
+// JSON): a json.RawMessage would be re-indented by the state encoder,
+// and restored results must serve the exact pre-restart bytes.
+type persistedJob struct {
+	ID       string         `json:"id"`
+	Hash     string         `json:"hash"`
+	State    JobState       `json:"state"`
+	Progress JobProgress    `json:"progress"`
+	Error    string         `json:"error,omitempty"`
+	Result   []byte         `json:"result,omitempty"`
+	Sweep    scenario.Sweep `json:"sweep"`
+}
+
+func toPersisted(doc JobDoc) persistedJob {
+	return persistedJob{ID: doc.ID, Hash: doc.Hash, State: doc.State, Progress: doc.Progress,
+		Error: doc.Error, Result: []byte(doc.Result), Sweep: doc.Sweep}
+}
+
+func (p persistedJob) toDoc() JobDoc {
+	return JobDoc{ID: p.ID, Hash: p.Hash, State: p.State, Progress: p.Progress,
+		Error: p.Error, Result: json.RawMessage(p.Result), Sweep: p.Sweep}
+}
+
+// saveState writes the job states to path atomically (tmp + rename).
+// Call after close: states are settled, so the snapshot is consistent.
+func (m *jobManager) saveState(path string) error {
+	m.mu.Lock()
+	st := persistedState{NextID: m.nextID, Jobs: make([]persistedJob, 0, len(m.order))}
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		st.Jobs = append(st.Jobs, toPersisted(j.snapshot()))
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding job state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("serve: job state dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("serve: writing job state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: committing job state: %w", err)
+	}
+	return nil
+}
+
+// loadState restores persisted jobs: terminal jobs (done, failed,
+// cancelled) are restored verbatim — a done job's result stays
+// servable and its hash keeps dedup — while jobs persisted as queued
+// or running (an interrupted drain) are re-enqueued from scratch.
+func (m *jobManager) loadState(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("serve: reading job state: %w", err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("serve: decoding job state %s: %w", path, err)
+	}
+	m.mu.Lock()
+	m.nextID = st.NextID
+	m.mu.Unlock()
+	for _, p := range st.Jobs {
+		doc := p.toDoc()
+		j := &job{doc: doc}
+		enqueue := false
+		if doc.State == JobQueued || doc.State == JobRunning {
+			ctx, cancel := context.WithCancel(context.Background())
+			j.ctx, j.cancel = ctx, cancel
+			j.doc.State = JobQueued
+			j.doc.Progress.Done = 0
+			j.doc.Result = nil
+			enqueue = true
+		}
+		m.mu.Lock()
+		if enqueue && len(m.pending) >= m.queueDepth {
+			j.cancel()
+			j.cancel = nil
+			j.doc.State = JobFailed
+			j.doc.Error = "not re-enqueued after restart: queue full"
+			enqueue = false
+		}
+		m.jobs[doc.ID] = j
+		m.order = append(m.order, doc.ID)
+		if j.doc.State != JobFailed && j.doc.State != JobCancelled {
+			m.byHash[j.doc.Hash] = doc.ID
+		}
+		if enqueue {
+			// Once on the FIFO the job belongs to the workers and all
+			// further doc access goes through j.mu.
+			m.pending = append(m.pending, j)
+			m.cond.Signal()
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}

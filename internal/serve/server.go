@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"selfishnet/internal/export"
+	"selfishnet/internal/scenario"
+)
+
+// Config tunes a Server. The zero value is usable: sensible defaults
+// are filled in by New.
+type Config struct {
+	// Workers is the async job worker pool width (default 2). Each
+	// worker drains one sweep job at a time.
+	Workers int
+	// QueueDepth bounds queued (not yet running) jobs; submissions
+	// beyond it are rejected with 503 (default 256).
+	QueueDepth int
+	// PointParallelism is the grid fan-out width inside one sweep job
+	// (scenario.Sweep.RunContext parallelism; 0 = all cores). Results
+	// are byte-identical at any value.
+	PointParallelism int
+	// RunParallelism is the internal fan-out width of synchronous
+	// /v1/run and /v1/runall executions (0 = all cores).
+	RunParallelism int
+	// CacheEntries bounds the content-addressed result cache (LRU).
+	// Values ≤ 0 select the default of 256; there is no unbounded
+	// mode — pass a large bound if eviction should be effectively off.
+	CacheEntries int
+	// MaxJobs bounds the job store: once exceeded, the oldest terminal
+	// jobs (done, failed, cancelled) are pruned — their ids 404 and
+	// their hashes no longer dedup. Live jobs are never pruned. Values
+	// ≤ 0 select the default of 1024.
+	MaxJobs int
+	// StatePath, when non-empty, persists job states there on Close and
+	// restores them in New (interrupted jobs re-enqueue; done jobs keep
+	// serving their results).
+	StatePath string
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server is the topogamed HTTP service: the scenario engine behind a
+// content-addressed result cache and an async job queue. Create with
+// New, mount Handler, and Close for graceful shutdown.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	jobs  *jobManager
+	mux   *http.ServeMux
+
+	runsTotal atomic.Int64
+	runErrors atomic.Int64
+}
+
+// New builds a Server (restoring persisted job state when
+// Config.StatePath names an existing file) and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries),
+		jobs:  newJobManager(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cfg.PointParallelism),
+	}
+	if cfg.StatePath != "" {
+		if err := s.jobs.loadState(cfg.StatePath); err != nil {
+			// The manager's workers are already parked on the queue;
+			// drain them so a failed New does not leak goroutines.
+			_ = s.jobs.close(context.Background())
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/runall", s.handleRunAll)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close gracefully shuts the server down: job intake stops, in-flight
+// jobs drain (until ctx expires, after which they are cancelled and
+// awaited), and — when configured — job states persist to
+// Config.StatePath. The HTTP listener is the caller's to close
+// (http.Server.Shutdown); call Close after it.
+func (s *Server) Close(ctx context.Context) error {
+	drainErr := s.jobs.close(ctx)
+	if s.cfg.StatePath != "" {
+		if err := s.jobs.saveState(s.cfg.StatePath); err != nil {
+			return errors.Join(drainErr, err)
+		}
+	}
+	return drainErr
+}
+
+// errorDoc is the JSON error envelope of every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorDoc{Error: err.Error()})
+}
+
+func writeDoc(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// requestOverrides folds the ?quick and ?seed query parameters into a
+// spec, mirroring the topogame CLI flags, so the cache key covers them.
+func requestOverrides(r *http.Request, spec *scenario.Spec) error {
+	q := r.URL.Query()
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("serve: bad quick=%q: %w", v, err)
+		}
+		spec.Quick = spec.Quick || quick
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("serve: bad seed=%q: %w", v, err)
+		}
+		spec.Seed = seed
+	}
+	return nil
+}
+
+// runCached executes a spec through the content-addressed cache and
+// returns (body, hash, hit). The body is the rendered table JSON; on a
+// hit it is the exact bytes of the first response.
+func (s *Server) runCached(spec scenario.Spec) ([]byte, string, bool, error) {
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, "", false, err
+	}
+	if body, ok := s.cache.get(hash); ok {
+		return body, hash, true, nil
+	}
+	s.runsTotal.Add(1)
+	table, err := scenario.RunSpec(spec, scenario.Params{Parallelism: s.cfg.RunParallelism})
+	if err != nil {
+		s.runErrors.Add(1)
+		return nil, hash, false, err
+	}
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		s.runErrors.Add(1)
+		return nil, hash, false, err
+	}
+	body := buf.Bytes()
+	s.cache.put(hash, body)
+	return body, hash, false, nil
+}
+
+// handleRun executes one scenario.Spec synchronously. The body is the
+// same Spec JSON `topogame spec` reads; ?quick=1 and ?seed=N mirror the
+// CLI flags. The response is the table JSON (`topogame spec -json`
+// bytes) with X-Spec-Hash and X-Cache: hit|miss headers; repeated
+// identical requests are served from the cache byte-identically.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec, err := scenario.ReadSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := requestOverrides(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, hash, hit, err := s.runCached(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Spec-Hash", hash)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(body)
+}
+
+// runAllRequest is the body of POST /v1/runall.
+type runAllRequest struct {
+	// IDs are catalog entries to run; empty means the whole catalog.
+	IDs []string `json:"ids,omitempty"`
+	// Quick and Seed mirror the topogame run flags.
+	Quick bool   `json:"quick,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// handleRunAll executes catalog entries in order and streams a JSON
+// array of their tables (export.JSONStream — byte-identical to
+// `topogame run -json`), flushing after each table so clients see
+// results as they complete. Every id goes through the same
+// content-addressed cache as /v1/run.
+func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
+	var req runAllRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		// An empty body is the zero request: the whole catalog at paper
+		// defaults (`curl -X POST .../v1/runall` with no -d).
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids := req.IDs
+	if len(ids) == 0 {
+		ids = scenario.IDs()
+	}
+	specs := make([]scenario.Spec, len(ids))
+	for i, id := range ids {
+		spec, err := scenario.CatalogSpec(id)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.Quick = spec.Quick || req.Quick
+		if req.Seed != 0 {
+			spec.Seed = req.Seed
+		}
+		specs[i] = spec
+	}
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	stream := export.NewJSONStream(w)
+	for i, spec := range specs {
+		body, _, _, err := s.runCached(spec)
+		if err != nil {
+			// Headers are sent once the first table streams; all we can
+			// do mid-stream is abort the connection so the client sees a
+			// truncated (invalid) document rather than a silent success.
+			if stream.Err() == nil && i == 0 {
+				writeError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			panic(http.ErrAbortHandler)
+		}
+		table, uerr := export.ParseTableJSON(body)
+		if uerr != nil {
+			panic(http.ErrAbortHandler)
+		}
+		if err := stream.Write(table); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = stream.Close()
+}
+
+// handleSweep submits a scenario.Sweep as an async job. The body is the
+// same Sweep JSON `topogame sweep` reads; ?quick=1 folds quick mode
+// into the base spec (and therefore the job's hash). A sweep whose
+// canonical hash matches a queued, running or done job dedups onto it
+// (200); otherwise the job is queued (202).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw, err := scenario.ReadSweep(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := requestOverrides(r, &sw.Base); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("seed") != "" && len(sw.Seeds) > 0 {
+		// Same guard as the topogame CLI: the seeds axis owns per-point
+		// seeding, so a seed override would be silently ignored.
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: sweep has a seeds axis; ?seed would be ambiguous"))
+		return
+	}
+	hash, err := sw.Hash()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	j, deduped, err := s.jobs.submit(sw, hash)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+		w.Header().Set("X-Job-Dedup", "true")
+	}
+	writeDoc(w, status, j.snapshot())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeDoc(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeDoc(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobResult serves exactly the result table JSON of a done job —
+// the bytes `topogame sweep -json` would print for the same sweep.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	doc := j.snapshot()
+	if doc.State != JobDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is %s, result available once done", doc.ID, doc.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sweep-Hash", doc.Hash)
+	_, _ = w.Write(doc.Result)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if !s.jobs.requestCancel(j, "cancelled by request") {
+		doc := j.snapshot()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s is already %s", doc.ID, doc.State))
+		return
+	}
+	writeDoc(w, http.StatusOK, j.snapshot())
+}
+
+// catalogEntryDoc is one /v1/catalog element.
+type catalogEntryDoc struct {
+	ID          string        `json:"id"`
+	Description string        `json:"description"`
+	Spec        scenario.Spec `json:"spec"`
+}
+
+// handleCatalog lists the experiment registry: every id with its
+// description and canonical (normalized) spec, ready to POST back to
+// /v1/run.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	ids := scenario.IDs()
+	docs := make([]catalogEntryDoc, 0, len(ids))
+	for _, id := range ids {
+		desc, err := scenario.Describe(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		spec, err := scenario.CatalogSpec(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		docs = append(docs, catalogEntryDoc{ID: id, Description: desc, Spec: spec.Normalize()})
+	}
+	writeDoc(w, http.StatusOK, docs)
+}
+
+// healthDoc is the /healthz body.
+type healthDoc struct {
+	Status string   `json:"status"`
+	Jobs   jobStats `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeDoc(w, http.StatusOK, healthDoc{Status: "ok", Jobs: s.jobs.stats()})
+}
+
+// metricsDoc is the flat expvar-style counter set served by /metrics.
+type metricsDoc struct {
+	cacheStats
+	jobStats
+	RunsTotal int64 `json:"runs_total"`
+	RunErrors int64 `json:"run_errors"`
+}
+
+// Metrics returns the current counter snapshot (also served as JSON by
+// GET /metrics): cache hits/misses/evictions, synchronous runs, job
+// counts by state and worker utilization. Keys match the /metrics JSON
+// field names.
+func (s *Server) Metrics() map[string]int64 {
+	c, j := s.cache.stats(), s.jobs.stats()
+	return map[string]int64{
+		"cache_entries":   c.Entries,
+		"cache_capacity":  c.Capacity,
+		"cache_bytes":     c.Bytes,
+		"cache_hits":      c.Hits,
+		"cache_misses":    c.Misses,
+		"cache_evictions": c.Evictions,
+		"jobs_submitted":  j.Submitted,
+		"jobs_deduped":    j.Deduped,
+		"jobs_cancelled":  j.Cancelled,
+		"jobs_pruned":     j.Pruned,
+		"jobs_queued":     j.Queued,
+		"jobs_running":    j.Running,
+		"jobs_done":       j.Done,
+		"jobs_failed":     j.Failed,
+		"workers_total":   j.Workers,
+		"workers_busy":    j.Busy,
+		"queue_depth":     j.QueueDepth,
+		"queue_capacity":  j.QueueCap,
+		"runs_total":      s.runsTotal.Load(),
+		"run_errors":      s.runErrors.Load(),
+	}
+}
+
+func (s *Server) metricsDoc() metricsDoc {
+	return metricsDoc{
+		cacheStats: s.cache.stats(),
+		jobStats:   s.jobs.stats(),
+		RunsTotal:  s.runsTotal.Load(),
+		RunErrors:  s.runErrors.Load(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeDoc(w, http.StatusOK, s.metricsDoc())
+}

@@ -1,0 +1,657 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	_ "selfishnet/internal/experiments" // register the 13 paper runners
+	"selfishnet/internal/export"
+	"selfishnet/internal/scenario"
+)
+
+// newTestServer builds a Server plus an httptest front end; both are
+// torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+const runSpecBody = `{"metric": {"family": "uniform", "n": 8}, "game": {"alpha": 2}, "quick": true}`
+
+// TestRunCacheHitByteEquality is the acceptance criterion: the same
+// spec POSTed twice returns byte-identical bodies, the second served
+// from the cache (asserted via the /metrics hit counter).
+func TestRunCacheHitByteEquality(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/run", runSpecBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d %s", resp1.StatusCode, body1)
+	}
+	if c := resp1.Header.Get("X-Cache"); c != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", c)
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/run", runSpecBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: %d", resp2.StatusCode)
+	}
+	if c := resp2.Header.Get("X-Cache"); c != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", c)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache hit not byte-identical:\n%s\nvs\n%s", body1, body2)
+	}
+	if h1, h2 := resp1.Header.Get("X-Spec-Hash"), resp2.Header.Get("X-Spec-Hash"); h1 != h2 || !strings.HasPrefix(h1, "sha256:") {
+		t.Errorf("spec hashes: %q vs %q", h1, h2)
+	}
+	if m := s.Metrics(); m["cache_hits"] != 1 || m["cache_misses"] != 1 || m["runs_total"] != 1 {
+		t.Errorf("metrics = hits %d misses %d runs %d, want 1/1/1",
+			m["cache_hits"], m["cache_misses"], m["runs_total"])
+	}
+
+	// A differently-written but canonically equal spec also hits.
+	explicit := `{"metric": {"family": "uniform", "n": 8, "dim": 2}, "game": {"alpha": 2, "model": "stretch"},
+		"start": {"kind": "empty"}, "dynamics": {"policy": "round-robin", "oracle": "exact"}, "quick": true}`
+	resp3, body3 := post(t, ts.URL+"/v1/run", explicit)
+	if c := resp3.Header.Get("X-Cache"); c != "hit" {
+		t.Errorf("canonically-equal spec X-Cache = %q, want hit", c)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Error("canonically-equal spec served different bytes")
+	}
+}
+
+// TestRunMatchesCLIEngine pins that the endpoint returns exactly the
+// bytes `topogame spec -json` would print for the same spec.
+func TestRunMatchesCLIEngine(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body := post(t, ts.URL+"/v1/run", runSpecBody)
+	spec, err := scenario.ReadSpec(strings.NewReader(runSpecBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := scenario.RunSpec(spec, scenario.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := table.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("server body differs from engine rendering:\n%s\nvs\n%s", body, want.Bytes())
+	}
+}
+
+func TestRunQueryOverridesAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// ?seed reroutes the cache key: different seed, different hash.
+	r1, _ := post(t, ts.URL+"/v1/run?seed=7", runSpecBody)
+	r2, _ := post(t, ts.URL+"/v1/run?seed=8", runSpecBody)
+	if r1.Header.Get("X-Spec-Hash") == r2.Header.Get("X-Spec-Hash") {
+		t.Error("different seeds must hash differently")
+	}
+	if resp, _ := post(t, ts.URL+"/v1/run?quick=notabool", runSpecBody); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad quick param: %d, want 400", resp.StatusCode)
+	}
+	if resp, body := post(t, ts.URL+"/v1/run", `{"metric": {"family": "nope"}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d %s, want 400", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/run", `{"unknown_field": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: want 400, got %d", resp.StatusCode)
+	}
+}
+
+// sweepBody returns an 8-point sweep (2 alphas × 2 ns × 2 seeds).
+func sweepBody() string {
+	return `{
+		"name": "test-sweep",
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": 1}},
+		"alphas": [1, 2],
+		"ns": [6, 8],
+		"seeds": [1, 2]
+	}`
+}
+
+// waitJob polls the job endpoint until the job leaves queued/running.
+func waitJob(t *testing.T, baseURL, id string) JobDoc {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body := get(t, baseURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job poll: %d %s", resp.StatusCode, body)
+		}
+		var doc JobDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State != JobQueued && doc.State != JobRunning {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (progress %d/%d)", id, doc.State, doc.Progress.Done, doc.Progress.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submitSweep(t *testing.T, baseURL, body string) JobDoc {
+	t.Helper()
+	resp, b := post(t, baseURL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d %s", resp.StatusCode, b)
+	}
+	var doc JobDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestSweepJobMatchesSynchronous is the acceptance criterion: an
+// 8-point sweep submitted async completes with a table byte-identical
+// to synchronous `topogame sweep` output, at worker width 1 and 8.
+func TestSweepJobMatchesSynchronous(t *testing.T) {
+	sw, err := scenario.ReadSweep(strings.NewReader(sweepBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := sw.Run(scenario.Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := table.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Workers: workers, PointParallelism: workers})
+			doc := submitSweep(t, ts.URL, sweepBody())
+			if doc.Progress.Total != 8 {
+				t.Errorf("total = %d, want 8 points", doc.Progress.Total)
+			}
+			final := waitJob(t, ts.URL, doc.ID)
+			if final.State != JobDone {
+				t.Fatalf("job state = %s (%s)", final.State, final.Error)
+			}
+			if final.Progress.Done != 8 {
+				t.Errorf("done = %d, want 8", final.Progress.Done)
+			}
+			resp, result := get(t, ts.URL+"/v1/jobs/"+doc.ID+"/result")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("result: %d", resp.StatusCode)
+			}
+			if !bytes.Equal(result, want.Bytes()) {
+				t.Errorf("async result differs from synchronous sweep:\n%s\nvs\n%s", result, want.Bytes())
+			}
+			// The embedded Result is re-indented by the enclosing job-doc
+			// encoder; it must still be the same JSON value.
+			var a, b bytes.Buffer
+			if err := json.Compact(&a, final.Result); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Compact(&b, result); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("embedded job result differs from /result endpoint")
+			}
+		})
+	}
+}
+
+// TestSweepConcurrentSubmissions submits several distinct sweeps at
+// once and checks they all complete correctly and dedup works.
+func TestSweepConcurrentSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{
+			"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": %d}},
+			"seeds": [1, 2]
+		}`, i+1)
+		doc := submitSweep(t, ts.URL, body)
+		ids = append(ids, doc.ID)
+	}
+	// Resubmit the first sweep: must dedup onto the existing job.
+	resp, b := post(t, ts.URL+"/v1/sweep", `{
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": 1}},
+		"seeds": [1, 2]
+	}`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Job-Dedup") != "true" {
+		t.Errorf("dedup resubmit: status %d dedup %q body %s", resp.StatusCode, resp.Header.Get("X-Job-Dedup"), b)
+	}
+	var dedup JobDoc
+	if err := json.Unmarshal(b, &dedup); err != nil {
+		t.Fatal(err)
+	}
+	if dedup.ID != ids[0] {
+		t.Errorf("dedup returned job %s, want %s", dedup.ID, ids[0])
+	}
+	for _, id := range ids {
+		if final := waitJob(t, ts.URL, id); final.State != JobDone {
+			t.Errorf("job %s: %s (%s)", id, final.State, final.Error)
+		}
+	}
+	if m := s.Metrics(); m["jobs_submitted"] != 4 || m["jobs_deduped"] != 1 {
+		t.Errorf("submitted/deduped = %d/%d, want 4/1", m["jobs_submitted"], m["jobs_deduped"])
+	}
+	// The jobs listing preserves submission order.
+	_, body := get(t, ts.URL+"/v1/jobs")
+	var docs []JobDoc
+	if err := json.Unmarshal(body, &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 {
+		t.Fatalf("listing has %d jobs, want 4", len(docs))
+	}
+	for i, doc := range docs {
+		if doc.ID != ids[i] {
+			t.Errorf("listing[%d] = %s, want %s", i, doc.ID, ids[i])
+		}
+		if len(doc.Result) != 0 {
+			t.Errorf("listing[%d] carries a result body; the listing must stay lean", i)
+		}
+	}
+}
+
+// slowSweepBody is sized so cancellation lands mid-run: many points,
+// sequential execution on one worker.
+func slowSweepBody() string {
+	return `{
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 24}, "game": {"alpha": 2},
+		         "dynamics": {"runs": 2}},
+		"alphas": [0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4],
+		"seeds": [1, 2, 3, 4]
+	}`
+}
+
+func TestJobCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, PointParallelism: 1})
+	// First job occupies the single worker; the second sits queued.
+	running := submitSweep(t, ts.URL, slowSweepBody())
+	queued := submitSweep(t, ts.URL, sweepBody())
+
+	// Cancelling the queued job is immediate.
+	resp, b := post(t, ts.URL+"/v1/jobs/"+queued.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %d %s", resp.StatusCode, b)
+	}
+	var doc JobDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != JobCancelled {
+		t.Errorf("queued job after cancel = %s, want cancelled", doc.State)
+	}
+
+	// Cancelling the running (or about-to-run) job stops it at the next
+	// grid-point boundary.
+	if resp, b := post(t, ts.URL+"/v1/jobs/"+running.ID+"/cancel", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %d %s", resp.StatusCode, b)
+	}
+	final := waitJob(t, ts.URL, running.ID)
+	if final.State != JobCancelled && final.State != JobDone {
+		t.Fatalf("cancelled job settled as %s (%s)", final.State, final.Error)
+	}
+	if final.State == JobDone {
+		t.Log("job finished before the cancel landed (best-effort semantics)")
+	}
+	if final.State == JobCancelled && len(final.Result) != 0 {
+		t.Error("cancelled job must not expose a result")
+	}
+	// A cancelled hash does not block resubmission (no dedup onto it).
+	resp2, b2 := post(t, ts.URL+"/v1/sweep", sweepBody())
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Errorf("resubmit after cancel: %d %s, want 202", resp2.StatusCode, b2)
+	}
+	// Cancelling a terminal job conflicts.
+	var re JobDoc
+	if err := json.Unmarshal(b2, &re); err != nil {
+		t.Fatal(err)
+	}
+	if done := waitJob(t, ts.URL, re.ID); done.State == JobDone {
+		if resp, _ := post(t, ts.URL+"/v1/jobs/"+re.ID+"/cancel", ""); resp.StatusCode != http.StatusConflict {
+			t.Errorf("cancel done job: %d, want 409", resp.StatusCode)
+		}
+	}
+	if m := s.Metrics(); m["jobs_cancelled"] < 1 {
+		t.Errorf("jobs_cancelled = %d, want ≥ 1", m["jobs_cancelled"])
+	}
+	// Unknown job id.
+	if resp, _ := get(t, ts.URL+"/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	// Result of a non-done job conflicts.
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+queued.ID+"/result"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestCatalogAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/v1/catalog")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("catalog: %d", resp.StatusCode)
+	}
+	var docs []catalogEntryDoc
+	if err := json.Unmarshal(body, &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 13 {
+		t.Errorf("catalog has %d entries, want the 13 paper experiments", len(docs))
+	}
+	for _, d := range docs {
+		if d.ID == "" || d.Description == "" {
+			t.Errorf("catalog entry %+v missing id or description", d)
+		}
+	}
+	// A catalog spec POSTs straight back into /v1/run.
+	specJSON, err := json.Marshal(docs[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, b := post(t, ts.URL+"/v1/run?quick=1", string(specJSON)); resp.StatusCode != http.StatusOK {
+		t.Errorf("running catalog spec %s: %d %s", docs[0].ID, resp.StatusCode, b)
+	}
+
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var health healthDoc
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("healthz status = %q", health.Status)
+	}
+	if health.Jobs.Workers != 2 {
+		t.Errorf("default workers = %d, want 2", health.Jobs.Workers)
+	}
+}
+
+// TestRunAllStreamsCatalogTables pins /v1/runall against the engine's
+// RunAll rendering (the `topogame run -json` bytes) for a subset.
+func TestRunAllStreamsCatalogTables(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"ids": ["e2-fig1", "e4-poa"], "quick": true}`
+	resp, body := post(t, ts.URL+"/v1/runall", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("runall: %d %s", resp.StatusCode, body)
+	}
+	tables, err := scenario.RunAll([]string{"e2-fig1", "e4-poa"}, scenario.Params{Quick: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := export.WriteJSONTables(&want, tables); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("runall stream differs from engine rendering:\n%s\nvs\n%s", body, want.Bytes())
+	}
+	if resp, _ := post(t, ts.URL+"/v1/runall", `{"ids": ["nope"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown id: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 2})
+	for _, alpha := range []string{"1", "2", "3"} {
+		body := `{"metric": {"family": "line", "positions": [0, 1, 2]}, "game": {"alpha": ` + alpha + `}}`
+		if resp, b := post(t, ts.URL+"/v1/run", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alpha %s: %d %s", alpha, resp.StatusCode, b)
+		}
+	}
+	m := s.Metrics()
+	if m["cache_entries"] != 2 {
+		t.Errorf("cache_entries = %d, want capacity bound 2", m["cache_entries"])
+	}
+	if m["cache_evictions"] != 1 {
+		t.Errorf("cache_evictions = %d, want 1", m["cache_evictions"])
+	}
+	// The evicted (oldest) entry recomputes: a miss, not a hit.
+	body := `{"metric": {"family": "line", "positions": [0, 1, 2]}, "game": {"alpha": 1}}`
+	resp, _ := post(t, ts.URL+"/v1/run", body)
+	if c := resp.Header.Get("X-Cache"); c != "miss" {
+		t.Errorf("evicted entry X-Cache = %q, want miss", c)
+	}
+}
+
+// TestCancelFreesQueueCapacity pins the availability fix: a cancelled
+// queued job releases its queue slot immediately, instead of blocking
+// new submissions until a worker happens to drain it.
+func TestCancelFreesQueueCapacity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, PointParallelism: 1, QueueDepth: 1})
+	// Occupy the single worker, then fill the one queue slot. The
+	// blocker is cancelled on cleanup so the drain in Close stays fast.
+	blocker := submitSweep(t, ts.URL, slowSweepBody())
+	t.Cleanup(func() { post(t, ts.URL+"/v1/jobs/"+blocker.ID+"/cancel", "") })
+	queued := submitSweep(t, ts.URL, sweepBody())
+	overflow := `{
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 7}, "game": {"alpha": 3}},
+		"seeds": [1, 2]
+	}`
+	if resp, _ := post(t, ts.URL+"/v1/sweep", overflow); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit: %d, want 503 queue-full", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/jobs/"+queued.ID+"/cancel", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %d", resp.StatusCode)
+	}
+	if resp, b := post(t, ts.URL+"/v1/sweep", overflow); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("submit after cancel: %d %s, want 202 (slot freed)", resp.StatusCode, b)
+	}
+}
+
+// TestJobRetentionPrunesTerminal pins the MaxJobs bound: oldest
+// finished jobs are pruned once the store exceeds it.
+func TestJobRetentionPrunesTerminal(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{
+			"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": %d}},
+			"seeds": [1]
+		}`, i+1)
+		doc := submitSweep(t, ts.URL, body)
+		ids = append(ids, doc.ID)
+		if final := waitJob(t, ts.URL, doc.ID); final.State != JobDone {
+			t.Fatalf("job %s: %s", doc.ID, final.State)
+		}
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job should be pruned: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[2]); resp.StatusCode != http.StatusOK {
+		t.Errorf("newest job must survive pruning: %d", resp.StatusCode)
+	}
+	if m := s.Metrics(); m["jobs_pruned"] < 1 {
+		t.Errorf("jobs_pruned = %d, want ≥ 1", m["jobs_pruned"])
+	}
+}
+
+// TestGracefulShutdownPersistsJobs drives the full drain + persist +
+// restore cycle through Config.StatePath.
+func TestGracefulShutdownPersistsJobs(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+	s1, err := New(Config{Workers: 1, StatePath: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	done := submitSweep(t, ts1.URL, sweepBody())
+	final := waitJob(t, ts1.URL, done.ID)
+	if final.State != JobDone {
+		t.Fatalf("job state = %s", final.State)
+	}
+	_, wantResult := get(t, ts1.URL+"/v1/jobs/"+done.ID+"/result")
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Submissions after drain are refused.
+	if _, _, err := s1.jobs.submit(scenario.Sweep{}, "sha256:x"); err == nil {
+		t.Error("submit after Close should fail")
+	}
+
+	// Restart from the persisted state: the done job and its result
+	// survive, and its hash still dedups.
+	s2, ts2 := newTestServer(t, Config{Workers: 1, StatePath: state})
+	resp, body := get(t, ts2.URL+"/v1/jobs/"+done.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored result: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, wantResult) {
+		t.Error("restored result differs from pre-restart bytes")
+	}
+	resp, _ = post(t, ts2.URL+"/v1/sweep", sweepBody())
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Job-Dedup") != "true" {
+		t.Errorf("restored job should dedup resubmission: %d %q", resp.StatusCode, resp.Header.Get("X-Job-Dedup"))
+	}
+	if m := s2.Metrics(); m["jobs_done"] != 1 {
+		t.Errorf("restored jobs_done = %d, want 1", m["jobs_done"])
+	}
+}
+
+// TestShutdownRequeuesQueuedJobs: a job still queued at shutdown
+// persists as queued and re-enqueues (and then runs) on restart.
+func TestShutdownRequeuesQueuedJobs(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+	s1, err := New(Config{Workers: 1, PointParallelism: 1, StatePath: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// Occupy the worker, then queue a second job behind it.
+	blocker := submitSweep(t, ts1.URL, slowSweepBody())
+	queued := submitSweep(t, ts1.URL, sweepBody())
+	ts1.Close()
+	// Cancel the blocker so shutdown drains promptly; the queued job
+	// must persist un-run.
+	s1.jobs.requestCancel(mustJob(t, s1, blocker.ID), "test shutdown")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 1, StatePath: state})
+	final := waitJob(t, ts2.URL, queued.ID)
+	if final.State != JobDone {
+		t.Fatalf("re-enqueued job settled as %s (%s)", final.State, final.Error)
+	}
+	_ = s2
+}
+
+// TestNewLoadStateFailureDoesNotLeak pins the error path of New: a
+// corrupt state file fails construction and the already-started worker
+// goroutines are drained rather than leaked.
+func TestNewLoadStateFailureDoesNotLeak(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(state, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, err := New(Config{Workers: 4, StatePath: state}); err == nil {
+			t.Fatal("New with corrupt state should fail")
+		}
+	}
+	// Give drained workers a moment to exit before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across failed New calls", before, after)
+	}
+}
+
+// TestMetricsKeysMatchEndpoint pins that the exported Metrics() map and
+// the GET /metrics JSON document expose exactly the same counter set,
+// so the two can't silently drift as counters are added.
+func TestMetricsKeysMatchEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, body := get(t, ts.URL+"/metrics")
+	var doc map[string]int64
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("metrics endpoint is not a flat int64 map: %v\n%s", err, body)
+	}
+	m := s.Metrics()
+	for k := range doc {
+		if _, ok := m[k]; !ok {
+			t.Errorf("endpoint key %q missing from Metrics()", k)
+		}
+	}
+	for k := range m {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("Metrics() key %q missing from the endpoint", k)
+		}
+	}
+}
+
+func mustJob(t *testing.T, s *Server, id string) *job {
+	t.Helper()
+	j, ok := s.jobs.get(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	return j
+}
