@@ -11,7 +11,10 @@
 //	topogame run -quick -csv e1-upper
 //	topogame spec -emit e4-poa    # print a catalog entry as Spec JSON
 //	topogame spec workload.json   # run a declarative Spec (or "-": stdin)
-//	topogame sweep grid.json      # run a Sweep grid (α × n × seed × γ)
+//	topogame sweep grid.json      # run a Sweep grid (α × n × seed × γ ×
+//	                              # churn-rate × repair)
+//	topogame churn -rate 0.1      # churn survival: equilibrium under
+//	                              # join/leave churn, selfish repairs
 //
 // Flags for run/spec/sweep:
 //
@@ -68,6 +71,8 @@ func run(args []string) error {
 		return runSpec(args[1:])
 	case "sweep":
 		return runSweep(args[1:])
+	case "churn":
+		return runChurn(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -253,6 +258,57 @@ func openArg(path string) (io.Reader, func(), error) {
 	return f, func() { f.Close() }, nil
 }
 
+// runChurn is the flag-driven front end for churn experiments: it
+// builds a declarative spec (uniform metric, empty start, default
+// dynamics) with a churn block, asks "does the equilibrium survive
+// churn?" and prints one table with the churn measures. The same run is
+// available declaratively via `topogame spec` with a "churn" block.
+func runChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	var out outputFlags
+	out.register(fs, scenario.DefaultSeed)
+	n := fs.Int("n", 24, "peer count")
+	alpha := fs.Float64("alpha", 2, "link price α")
+	rate := fs.Float64("rate", 0.1, "per-peer toggle rate (events/second)")
+	duration := fs.Float64("duration", 5, "simulated churn horizon (seconds)")
+	repair := fs.String("repair", "selfish", "repair strategy: selfish, nearest or none")
+	family := fs.String("metric", "uniform", "metric family (sized families only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("churn takes no file argument (got %q); use 'topogame spec' with a churn block", fs.Arg(0))
+	}
+	spec := scenario.Spec{
+		Name:   fmt.Sprintf("churn: %s n=%d α=%v rate=%v repair=%s", *family, *n, *alpha, *rate, *repair),
+		Seed:   out.seed,
+		Metric: scenario.MetricSpec{Family: *family, N: *n},
+		Game:   scenario.GameSpec{Alpha: *alpha},
+		Churn: scenario.ChurnSpec{
+			Rate:     *rate,
+			Duration: *duration,
+			Repair:   *repair,
+		},
+		Measures: []string{
+			"converged", "links", "social-cost",
+			"churn-rate", "churn-repair", "churn-events",
+			"restabilize-mean", "restabilize-max", "overshoot", "tail-stable",
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	return out.profiled(func() error {
+		tb, err := scenario.RunSpec(spec, scenario.Params{
+			Quick: out.quick, Parallelism: out.par,
+		})
+		if err != nil {
+			return err
+		}
+		return out.write(tb, os.Stdout)
+	})
+}
+
 func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var out outputFlags
@@ -297,7 +353,11 @@ commands:
   run [flags] <ids|all>    run experiments and print tables
   spec [flags] <file|->    run a declarative Spec JSON (see -emit)
   spec -emit <id>          print a catalog entry as Spec JSON
-  sweep [flags] <file|->   run a Sweep JSON grid (α × n × seed × γ)
+  sweep [flags] <file|->   run a Sweep JSON grid (α × n × seed × γ ×
+                           churn-rate × repair)
+  churn [flags]            run a churn survival experiment (equilibrium
+                           under join/leave churn; -n -alpha -rate
+                           -duration -repair -metric)
   help                     show this help
 
 flags (run/spec/sweep):

@@ -84,6 +84,31 @@ func TestTopogameParOutputIdentical(t *testing.T) {
 	}
 }
 
+// TestTopogameChurn pins the churn subcommand: the quick smoke run
+// prints one CSV table with the churn measures, deterministic for a
+// seed, and rejects stray arguments and unknown repair strategies.
+func TestTopogameChurn(t *testing.T) {
+	args := []string{"churn", "-quick", "-csv", "-seed", "3"}
+	out := captureStdout(t, func() error { return run(args) })
+	if len(out) == 0 {
+		t.Fatal("no churn output captured")
+	}
+	for _, col := range []string{"churn-events", "restabilize-mean", "overshoot", "tail-stable"} {
+		if !bytes.Contains(out, []byte(col)) {
+			t.Errorf("churn output lacks column %q:\n%s", col, out)
+		}
+	}
+	if again := captureStdout(t, func() error { return run(args) }); !bytes.Equal(out, again) {
+		t.Fatal("churn output not deterministic for a fixed seed")
+	}
+	if err := run([]string{"churn", "stray.json"}); err == nil {
+		t.Fatal("churn with a file argument should error")
+	}
+	if err := run([]string{"churn", "-repair", "wishful"}); err == nil {
+		t.Fatal("unknown repair strategy should error")
+	}
+}
+
 // TestTopogameRunJSON asserts the -json output of run is one JSON array
 // of table documents, parseable as a single document at any id count.
 func TestTopogameRunJSON(t *testing.T) {
@@ -234,6 +259,27 @@ func TestTopogameLargeNSweepValidates(t *testing.T) {
 	}
 	if len(sw.Ns) == 0 || sw.Ns[len(sw.Ns)-1] < 1024 {
 		t.Fatalf("large-n grid should scale to n ≥ 1024, got %v", sw.Ns)
+	}
+}
+
+// TestTopogameChurnSweepValidates parses and validates the checked-in
+// churn-survival grid without running it in full (see EXPERIMENTS.md;
+// the quick run is exercised by the CLI churn smoke in CI).
+func TestTopogameChurnSweepValidates(t *testing.T) {
+	f, err := os.Open("testdata/sweep_churn.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := scenario.ReadSweep(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Base.Churn.Rate == 0 {
+		t.Fatal("churn grid base spec should carry a churn block")
+	}
+	if len(sw.ChurnRates) == 0 || len(sw.Repairs) == 0 {
+		t.Fatalf("churn grid should sweep churn_rates and repairs, got %v / %v", sw.ChurnRates, sw.Repairs)
 	}
 }
 

@@ -1,0 +1,148 @@
+package churn
+
+import (
+	"testing"
+
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+// benchEvents pre-generates a deterministic toggle script: the peer
+// hit by each event, starting from everyone online. Both the
+// incremental benchmark and the fresh-recompute ablation replay the
+// same script, so they maintain identical state trajectories.
+func benchEvents(seed uint64, n, events int) []int {
+	r := rng.New(seed)
+	script := make([]int, events)
+	for i := range script {
+		script[i] = r.Intn(n)
+	}
+	return script
+}
+
+func benchInstance(b *testing.B, n int) (*core.Instance, core.Profile) {
+	b.Helper()
+	r := rng.New(uint64(4000 + n))
+	space, err := metric.UniformPoints(r, n, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.NewProfile(n)
+	for i := 0; i < n; i++ {
+		s := core.Strategy{}
+		s.Add((i + 1) % n)
+		s.Add((i + 3) % n)
+		if err := p.SetStrategy(i, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return inst, p
+}
+
+// BenchmarkChurnStepIncremental measures one churn event (leave or
+// join, repairs off) applied through the engine's incremental path:
+// each toggle costs a dirty region of the distance matrix.
+func BenchmarkChurnStepIncremental(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(map[int]string{64: "n64", 128: "n128", 256: "n256"}[n], func(b *testing.B) {
+			inst, start := benchInstance(b, n)
+			script := benchEvents(77, n, 1024)
+			e, err := NewEngine(core.NewEvaluator(inst), start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := script[i%len(script)]
+				if e.Online(v) {
+					if e.NumOnline() <= 2 {
+						continue
+					}
+					if _, err := e.Leave(v); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := e.Join(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChurnStepFresh is the ablation: the same toggle script and
+// the same live-profile semantics, but every event is followed by a
+// from-scratch recomputation of all online distance rows — the cost a
+// churn step pays without the incremental core.
+func BenchmarkChurnStepFresh(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(map[int]string{64: "n64", 128: "n128", 256: "n256"}[n], func(b *testing.B) {
+			inst, start := benchInstance(b, n)
+			script := benchEvents(77, n, 1024)
+			ev := core.NewEvaluator(inst)
+			stored := start.Clone()
+			live := start.Clone()
+			online := make([]bool, n)
+			for i := range online {
+				online[i] = true
+			}
+			count := n
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := script[i%len(script)]
+				if online[v] {
+					if count <= 2 {
+						continue
+					}
+					online[v] = false
+					count--
+					if err := live.SetStrategy(v, core.Strategy{}); err != nil {
+						b.Fatal(err)
+					}
+					for u := 0; u < n; u++ {
+						if u != v && online[u] && live.Strategy(u).Contains(v) {
+							s := live.Strategy(u).Clone()
+							s.Remove(v)
+							if err := live.SetStrategy(u, s); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				} else {
+					online[v] = true
+					count++
+					s := stored.Strategy(v).Clone()
+					for j := 0; j < n; j++ {
+						if !online[j] {
+							s.Remove(j)
+						}
+					}
+					if err := live.SetStrategy(v, s); err != nil {
+						b.Fatal(err)
+					}
+					for u := 0; u < n; u++ {
+						if u != v && online[u] && stored.Strategy(u).Contains(v) {
+							su := live.Strategy(u).Clone()
+							su.Add(v)
+							if err := live.SetStrategy(u, su); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				for src := 0; src < n; src++ {
+					if online[src] {
+						if _, err := ev.Distances(live, src); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}

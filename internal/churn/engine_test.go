@@ -1,0 +1,268 @@
+package churn
+
+import (
+	"testing"
+
+	"selfishnet/internal/bitset"
+	"selfishnet/internal/core"
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+// churnCase is one evaluation regime the differential suite covers.
+type churnCase struct {
+	name       string
+	n          int
+	undirected bool
+	gamma      float64
+}
+
+func churnCases() []churnCase {
+	return []churnCase{
+		{name: "directed", n: 14},
+		{name: "undirected", n: 12, undirected: true},
+		{name: "congested", n: 12, gamma: 0.7},
+		{name: "congested-undirected", n: 10, undirected: true, gamma: 1.1},
+	}
+}
+
+func buildChurnInstance(t *testing.T, r *rng.RNG, c churnCase) *core.Instance {
+	t.Helper()
+	space, err := metric.UniformPoints(r, c.n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []core.Option
+	if c.undirected {
+		opts = append(opts, core.WithUndirected())
+	}
+	if c.gamma > 0 {
+		opts = append(opts, core.WithCongestion(c.gamma))
+	}
+	inst, err := core.NewInstance(space, 2.5, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func randomChurnProfile(r *rng.RNG, n int, q float64) core.Profile {
+	p := core.NewProfile(n)
+	for i := 0; i < n; i++ {
+		s := bitset.New(n)
+		for j := 0; j < n; j++ {
+			if j != i && r.Bool(q) {
+				s.Add(j)
+			}
+		}
+		if err := p.SetStrategy(i, s); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// checkInvariants asserts the engine's structural invariant after an
+// event: live = stored ∩ online (offline peers own no live links and
+// receive none), and the incremental state matches a fresh evaluation
+// bit for bit.
+func checkInvariants(t *testing.T, e *Engine, fresh *core.Evaluator, step string) {
+	t.Helper()
+	n := e.N()
+	live, stored := e.Live(), e.Stored()
+	for u := 0; u < n; u++ {
+		if !e.Online(u) {
+			if !live.Strategy(u).Empty() {
+				t.Fatalf("%s: offline peer %d owns live links %v", step, u, live.Strategy(u))
+			}
+			continue
+		}
+		want := stored.Strategy(u).Clone()
+		for j := 0; j < n; j++ {
+			if !e.Online(j) {
+				want.Remove(j)
+			}
+		}
+		if !live.Strategy(u).Equal(want) {
+			t.Fatalf("%s: live[%d] = %v, want stored∩online = %v", step, u, live.Strategy(u), want)
+		}
+	}
+	if err := e.CheckAgainstFresh(fresh); err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+}
+
+// TestEngineEveryStepMatchesFresh is the tentpole differential suite:
+// a randomized interleaving of leaves, joins and repairs in every
+// evaluation regime, with the engine's full state (all distance rows
+// and masked evals) compared bit-for-bit against a from-scratch
+// evaluation after every single event.
+func TestEngineEveryStepMatchesFresh(t *testing.T) {
+	r := rng.New(101)
+	for _, c := range churnCases() {
+		for _, repair := range []RepairKind{RepairNone, RepairNearest, RepairSelfish} {
+			t.Run(c.name+"/"+repair.String(), func(t *testing.T) {
+				inst := buildChurnInstance(t, r, c)
+				ev := core.NewEvaluator(inst)
+				fresh := core.NewEvaluator(inst)
+				e, err := NewEngine(ev, randomChurnProfile(r, c.n, 0.3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+				checkInvariants(t, e, fresh, "initial")
+				for step := 0; step < 30; step++ {
+					v := r.Intn(c.n)
+					var affected []int
+					if e.Online(v) && e.NumOnline() > 3 {
+						affected, err = e.Leave(v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						checkInvariants(t, e, fresh, "after leave")
+					} else if !e.Online(v) {
+						affected, err = e.Join(v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						affected = []int{v}
+						checkInvariants(t, e, fresh, "after join")
+					} else {
+						continue
+					}
+					for _, u := range affected {
+						if _, err := e.Repair(u, repair); err != nil {
+							t.Fatal(err)
+						}
+						checkInvariants(t, e, fresh, "after repair")
+					}
+				}
+				// Everyone rejoins; the state must still match fresh, and
+				// with no repairs ever taken the live profile must equal
+				// the starting memory again.
+				for v := 0; v < c.n; v++ {
+					if !e.Online(v) {
+						if _, err := e.Join(v); err != nil {
+							t.Fatal(err)
+						}
+						checkInvariants(t, e, fresh, "after tail join")
+					}
+				}
+				if !e.Live().Equal(e.Stored()) {
+					t.Fatal("with everyone online, live must equal stored")
+				}
+			})
+		}
+	}
+}
+
+// TestEngineLeaveJoinRoundTripRestoresProfile pins the memory
+// semantics: without repairs, a leave followed by the peer's rejoin
+// restores the exact starting profile (stored links survive churn).
+func TestEngineLeaveJoinRoundTripRestoresProfile(t *testing.T) {
+	r := rng.New(103)
+	c := churnCase{name: "directed", n: 12}
+	inst := buildChurnInstance(t, r, c)
+	start := randomChurnProfile(r, c.n, 0.35)
+	e, err := NewEngine(core.NewEvaluator(inst), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for trial := 0; trial < 8; trial++ {
+		v := r.Intn(c.n)
+		if _, err := e.Leave(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Join(v); err != nil {
+			t.Fatal(err)
+		}
+		if !e.Live().Equal(start) {
+			t.Fatalf("trial %d: leave/join of %d did not restore the profile", trial, v)
+		}
+	}
+}
+
+// TestEngineSelfishRepairStaysInsideSubgame pins the bugfix the
+// masked oracle exists for: a selfish repair during an offline window
+// must never link to an offline peer (the unmasked oracle would, since
+// any link to an unreachable peer lexicographically dominates).
+func TestEngineSelfishRepairStaysInsideSubgame(t *testing.T) {
+	r := rng.New(107)
+	for _, c := range churnCases() {
+		t.Run(c.name, func(t *testing.T) {
+			inst := buildChurnInstance(t, r, c)
+			e, err := NewEngine(core.NewEvaluator(inst), randomChurnProfile(r, c.n, 0.3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			// Take a third of the peers offline, then let every online
+			// peer repair selfishly.
+			for v := 0; v < c.n/3; v++ {
+				if _, err := e.Leave(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for u := 0; u < c.n; u++ {
+				if !e.Online(u) {
+					continue
+				}
+				before := e.Stored().Strategy(u).Clone()
+				changed, err := e.Repair(u, RepairSelfish)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < c.n; j++ {
+					if e.Online(j) || !e.Stored().Strategy(u).Contains(j) {
+						continue
+					}
+					// A stale memory of j from before the repair is fine (a
+					// no-change repair keeps it); a NEW link to an offline
+					// peer is the unmasked-oracle bug this pins.
+					if changed || !before.Contains(j) {
+						t.Fatalf("%s: selfish repair of %d linked to offline peer %d", c.name, u, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineStabilizeReachesMaskedEquilibrium checks that a converged
+// Stabilize really is stable: no online peer's masked best response
+// improves on its current play.
+func TestEngineStabilizeReachesMaskedEquilibrium(t *testing.T) {
+	r := rng.New(109)
+	c := churnCase{name: "directed", n: 12}
+	inst := buildChurnInstance(t, r, c)
+	e, err := NewEngine(core.NewEvaluator(inst), randomChurnProfile(r, c.n, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for v := 0; v < 4; v++ {
+		if _, err := e.Leave(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, converged, err := e.Stabilize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatal("stabilize did not converge")
+	}
+	for u := 0; u < c.n; u++ {
+		if !e.Online(u) {
+			continue
+		}
+		_, res, err := e.BestResponseActive(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Better(e.PeerEval(u), 1e-9) {
+			t.Fatalf("peer %d still improves after convergence: %+v vs %+v", u, res, e.PeerEval(u))
+		}
+	}
+}

@@ -136,6 +136,13 @@ func (b *DeviationBatch) Peer() int { return b.i }
 // with it up to floating-point association (different summation order
 // along paths), well within the oracles' tolerance.
 func (b *DeviationBatch) Eval(alt Strategy) Eval {
+	return b.ev.peerEvalFrom(b.fold(alt), b.i, alt.Count())
+}
+
+// fold computes the deviation distances d[j] = min_{k∈alt} (d(i,k) +
+// rest[k][j]) into the batch's scratch row, shared by Eval and
+// EvalActive (active.go).
+func (b *DeviationBatch) fold(alt Strategy) []float64 {
 	d := b.d
 	n := len(d)
 	for j := range d {
@@ -156,7 +163,7 @@ func (b *DeviationBatch) Eval(alt Strategy) Eval {
 		}
 		return true
 	})
-	return b.ev.peerEvalFrom(d, b.i, alt.Count())
+	return d
 }
 
 // maxSuffixMinFloats caps the memory of a SuffixMins table (the
@@ -192,6 +199,14 @@ type SuffixBound struct {
 // when the model is not a built-in monotone one (no sound bound) or the
 // table would exceed the memory cap.
 func (b *DeviationBatch) SuffixMins(candidates []int) *SuffixBound {
+	return b.suffixMins(candidates, nil)
+}
+
+// suffixMins is SuffixMins with an optional active mask: the rows fold
+// all columns (unread inactive entries are harmless) but the sums and
+// single-link Evals accumulate active partners only, matching the
+// masked Eval order the active exact search compares against.
+func (b *DeviationBatch) suffixMins(candidates []int, active []bool) *SuffixBound {
 	n := len(b.d)
 	m := len(candidates)
 	if !b.ev.builtinMonotoneModel() || (m+1)*n > maxSuffixMinFloats {
@@ -239,7 +254,8 @@ func (b *DeviationBatch) SuffixMins(candidates []int) *SuffixBound {
 				if stretch {
 					t /= row[j]
 				}
-				if j != b.i {
+				counted := j != b.i && (active == nil || active[j])
+				if counted {
 					se.Cost.Term += t
 					if math.IsInf(t, 1) {
 						se.Unreachable++
@@ -251,7 +267,7 @@ func (b *DeviationBatch) SuffixMins(candidates []int) *SuffixBound {
 					t = prev[j]
 				}
 				cur[j] = t
-				if j != b.i {
+				if counted {
 					acc += t
 				}
 			}

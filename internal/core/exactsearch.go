@@ -48,6 +48,20 @@ type ExactSearchOutcome struct {
 // budget > 0 bounds Resolved; crossing it aborts with OverBudget at the
 // same candidate the unpruned enumeration would have died on.
 func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, budget int) ExactSearchOutcome {
+	return b.ExactSearchActive(incumbent, nil, sumLB, tol, budget)
+}
+
+// ExactSearchActive is ExactSearch restricted to an active peer subset:
+// candidates are drawn from active peers only and every Eval — the
+// incumbent's, the leaves' and the pruning bounds' — is masked to
+// active partners (see active.go for the masking conventions). sumLB
+// must sum the model lower bounds over active partners only. With
+// active == nil it is exactly ExactSearch. This is the churn engine's
+// repair oracle: a best response in the subgame induced on the online
+// peers, with every pruning device still live because masked
+// connectivity (reaching all active peers) replaces global
+// connectivity.
+func (b *DeviationBatch) ExactSearchActive(incumbent Strategy, active []bool, sumLB, tol float64, budget int) ExactSearchOutcome {
 	ev := b.ev
 	inst := ev.inst
 	n := inst.n
@@ -60,6 +74,7 @@ func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, bud
 		stretch: inst.modelKind == modelStretch,
 		tol:     tol,
 		budget:  budget,
+		active:  active,
 	}
 
 	if cap(ev.candScratch) < n {
@@ -67,7 +82,7 @@ func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, bud
 	}
 	s.candidates = ev.candScratch[:0]
 	for j := 0; j < n; j++ {
-		if j != s.i {
+		if j != s.i && (active == nil || active[j]) {
 			s.candidates = append(s.candidates, j)
 		}
 	}
@@ -98,12 +113,12 @@ func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, bud
 		tbase[s.i] = 0
 	}
 
-	s.setBest(incumbent.Clone(), b.Eval(incumbent))
+	s.setBest(incumbent.Clone(), b.EvalActive(incumbent, active))
 
 	// The full strategy (link to everyone) reaches all peers at the term
 	// lower bound exactly, under both models; scoring it early makes the
 	// incumbent connected, which tightens every pruning device.
-	if sb := b.SuffixMins(s.candidates); sb != nil {
+	if sb := b.suffixMins(s.candidates, active); sb != nil {
 		s.suffix = sb.term
 		s.suffixSum = sb.sum
 		s.single = sb.single
@@ -119,7 +134,7 @@ func (b *DeviationBatch) ExactSearch(incumbent Strategy, sumLB, tol float64, bud
 		// with the monotone term), so the full eval is one summation.
 		fullEval = s.evalFromTerms(s.suffix[0], m)
 	} else {
-		fullEval = b.Eval(full)
+		fullEval = b.EvalActive(full, active)
 	}
 	if fullEval.Better(s.bestEval, tol) {
 		s.setBest(full, fullEval)
@@ -191,6 +206,7 @@ type exactSearch struct {
 	tol        float64
 	budget     int
 	candidates []int
+	active     []bool      // active-peer mask (nil = everyone)
 	levels     []float64   // per-depth distance folds
 	terms      []float64   // per-depth term folds (nil for custom models)
 	suffix     [][]float64 // suffix-min term rows (nil when unavailable)
@@ -247,8 +263,26 @@ func (s *exactSearch) prunable(start, depth int) bool {
 	tcur := s.terms[depth*n : (depth+1)*n]
 	tsuf := s.suffix[start]
 	partial := 0.0
+	if s.active == nil {
+		for j := 0; j < n; j++ {
+			if j == s.i {
+				continue
+			}
+			t := tcur[j]
+			if tsuf[j] < t {
+				t = tsuf[j]
+			}
+			partial += t
+			if link+partial >= threshold {
+				return true
+			}
+		}
+		return false
+	}
+	// Masked: inactive partners carry +Inf term rows, so folding them
+	// would prune everything; they are simply not part of the sum.
 	for j := 0; j < n; j++ {
-		if j == s.i {
+		if j == s.i || !s.active[j] {
 			continue
 		}
 		t := tcur[j]
@@ -300,7 +334,7 @@ func (s *exactSearch) push(k, depth int) {
 func (s *exactSearch) evalFromTerms(terms []float64, degree int) Eval {
 	e := Eval{Cost: Cost{Link: s.alpha * float64(degree)}}
 	for j := 0; j < s.n; j++ {
-		if j == s.i {
+		if j == s.i || (s.active != nil && !s.active[j]) {
 			continue
 		}
 		t := terms[j]
@@ -319,7 +353,7 @@ func (s *exactSearch) evalFromTerms(terms []float64, degree int) Eval {
 // slow path for leaves (k = 0, or custom models / disconnected best,
 // where bounded evaluation is unsound).
 func (s *exactSearch) scoreLevel(depth, degree int) {
-	e := s.b.ev.peerEvalFrom(s.levels[depth*s.n:(depth+1)*s.n], s.i, degree)
+	e := s.b.ev.peerEvalFromActive(s.levels[depth*s.n:(depth+1)*s.n], s.i, degree, s.active)
 	if e.Better(s.bestEval, s.tol) {
 		s.setBest(s.cur.Clone(), e)
 	}
@@ -345,24 +379,47 @@ func (s *exactSearch) leaf(k, depth int) {
 	row := s.row
 	e := Eval{Cost: Cost{Link: s.alpha * float64(depth+1)}}
 	threshold := s.threshold
-	for j := 0; j < n; j++ {
-		if j == s.i {
-			continue
+	if s.active == nil {
+		for j := 0; j < n; j++ {
+			if j == s.i {
+				continue
+			}
+			v := wk + rk[j]
+			if cur[j] < v {
+				v = cur[j]
+			}
+			t := v
+			if stretch {
+				t = v / row[j]
+			}
+			// +Inf terms trip the threshold exit, so unreachable pairs need
+			// no separate check.
+			e.Cost.Term += t
+			e.FiniteTerm += t
+			if e.Cost.Link+e.FiniteTerm >= threshold {
+				return
+			}
 		}
-		v := wk + rk[j]
-		if cur[j] < v {
-			v = cur[j]
-		}
-		t := v
-		if stretch {
-			t = v / row[j]
-		}
-		// +Inf terms trip the threshold exit, so unreachable pairs need
-		// no separate check.
-		e.Cost.Term += t
-		e.FiniteTerm += t
-		if e.Cost.Link+e.FiniteTerm >= threshold {
-			return
+	} else {
+		// Masked: inactive partners are skipped outright — their +Inf
+		// terms must not trip the threshold, they are not in the subgame.
+		for j := 0; j < n; j++ {
+			if j == s.i || !s.active[j] {
+				continue
+			}
+			v := wk + rk[j]
+			if cur[j] < v {
+				v = cur[j]
+			}
+			t := v
+			if stretch {
+				t = v / row[j]
+			}
+			e.Cost.Term += t
+			e.FiniteTerm += t
+			if e.Cost.Link+e.FiniteTerm >= threshold {
+				return
+			}
 		}
 	}
 	if e.Better(s.bestEval, s.tol) {

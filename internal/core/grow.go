@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grow extends the engine to a larger instance whose first N() peers are
+// exactly the current ones: newEv must be bound to an instance with the
+// same α, cost model, orientation and congestion setting whose distance
+// matrix restricted to the old peers matches the old instance bit for
+// bit. The engine's profile is extended with empty strategies for the
+// new peers (Profile.Grow), so no distance changes: old rows gain +Inf
+// columns (nothing links the newcomers) and each new row is +Inf except
+// its own diagonal. A join therefore really is "a new row" — Grow
+// installs it, and the subsequent Apply calls that give the newcomer
+// links (and others links to it) populate it incrementally.
+//
+// Any mismatch fails loudly before mutating the engine; the old state
+// stays valid. The attached BatchCache (if any) is replaced by an empty
+// one sized for the new instance whose version counter continues past
+// the old one, so PeerVersion stays monotone across a grow and every
+// downstream best-response cache keyed on it is invalidated.
+//
+// After a successful Grow the engine is bound to newEv; the old
+// evaluator keeps working on the old instance but no longer sees the
+// engine's cache.
+func (dy *DynEval) Grow(newEv *Evaluator) error {
+	if newEv == nil {
+		return fmt.Errorf("core: Grow needs an evaluator")
+	}
+	old := dy.ev.inst
+	inst := newEv.inst
+	n, m := dy.n, inst.n
+	if m < n {
+		return fmt.Errorf("core: cannot grow from %d to %d peers", n, m)
+	}
+	if inst.alpha != old.alpha {
+		return fmt.Errorf("core: Grow changes alpha (%v to %v)", old.alpha, inst.alpha)
+	}
+	if inst.undirected != old.undirected {
+		return fmt.Errorf("core: Grow changes orientation (undirected %v to %v)", old.undirected, inst.undirected)
+	}
+	if inst.congestionGamma != old.congestionGamma {
+		return fmt.Errorf("core: Grow changes congestion gamma (%v to %v)", old.congestionGamma, inst.congestionGamma)
+	}
+	if inst.modelKind != old.modelKind || inst.modelKind == modelCustom {
+		return fmt.Errorf("core: Grow requires the same built-in cost model (have %T, want %T)", inst.model, old.model)
+	}
+	for i := 0; i < n; i++ {
+		oldRow := old.distRow(i)
+		newRow := inst.distRow(i)
+		for j := 0; j < n; j++ {
+			if oldRow[j] != newRow[j] {
+				return fmt.Errorf("core: Grow distance mismatch at (%d,%d): old %v, new %v",
+					i, j, oldRow[j], newRow[j])
+			}
+		}
+	}
+	grown, err := dy.p.Grow(m)
+	if err != nil {
+		return err
+	}
+
+	// Re-slab the distance and count matrices at the new stride. Old rows
+	// keep their bits; new columns are +Inf with zero tight parents, new
+	// rows are +Inf except the diagonal — exactly what a fresh settle of
+	// the grown profile computes, since the newcomers have no links in
+	// either direction.
+	dist := make([]float64, m*m)
+	cnt := make([]int32, m*m)
+	for s := 0; s < n; s++ {
+		row := dist[s*m : (s+1)*m]
+		copy(row[:n], dy.dist[s*n:(s+1)*n])
+		for j := n; j < m; j++ {
+			row[j] = math.Inf(1)
+		}
+		copy(cnt[s*m:s*m+n], dy.cnt[s*n:(s+1)*n])
+	}
+	for s := n; s < m; s++ {
+		row := dist[s*m : (s+1)*m]
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		row[s] = 0
+	}
+
+	// Point of no return: swap in the grown state and resize the
+	// per-peer scratch the move machinery indexes by peer.
+	var oldVersion uint64
+	if dy.cache != nil {
+		oldVersion = dy.cache.version
+		if dy.ev.batchCache == dy.cache {
+			dy.ev.batchCache = nil
+		}
+		dy.cache = nil
+	}
+	dy.ev = newEv
+	dy.p = grown
+	dy.n = m
+	dy.dist = dist
+	dy.cnt = cnt
+	dy.indeg = make([]int, m)
+	dy.inA = make([]bool, m)
+	dy.isImp = make([]bool, m)
+	dy.inR = make([]bool, m)
+	dy.oldAD = make([]float64, m)
+	dy.newScale = make([]float64, m)
+	dy.scale = nil // rebuildAdjacency reallocates at the new size under γ > 0
+	dy.rebuildAdjacency()
+
+	if inst.SupportsBatchEval() {
+		dy.cache = newBatchCache(dy.p, m)
+		// Continue the version clock past the old cache so PeerVersion
+		// never repeats a value across the grow.
+		dy.cache.version = oldVersion + 1
+		newEv.batchCache = dy.cache
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"selfishnet/internal/metric"
+	"selfishnet/internal/rng"
+)
+
+// growSpaces builds an m-peer metric space and its n-peer prefix with
+// bit-identical shared distances, so Grow's prefix check passes.
+func growSpaces(t *testing.T, r *rng.RNG, n, m int) (prefix, full metric.Space) {
+	t.Helper()
+	fullSpace, err := metric.UniformPoints(r, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = fullSpace.Distance(i, j)
+		}
+	}
+	prefixSpace, err := metric.NewMatrixUnchecked(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prefixSpace, fullSpace
+}
+
+// TestDynEvalGrowMatchesFreshAfterJoin is the row-growth regression
+// the churn engine builds on: run a move sequence on n peers, grow the
+// engine to m, then join the newcomers (their links, links back to
+// them, further churn) — after every step all maintained rows, tight
+// counts and PeerEvals must be bit-identical to a fresh evaluation of
+// the grown instance.
+func TestDynEvalGrowMatchesFreshAfterJoin(t *testing.T) {
+	r := rng.New(79)
+	cases := []struct {
+		name       string
+		undirected bool
+		gamma      float64
+	}{
+		{name: "directed"},
+		{name: "undirected", undirected: true},
+		{name: "congested", gamma: 0.8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, m := 11, 15
+			prefixSpace, fullSpace := growSpaces(t, r, n, m)
+			var opts []Option
+			if tc.undirected {
+				opts = append(opts, WithUndirected())
+			}
+			if tc.gamma > 0 {
+				opts = append(opts, WithCongestion(tc.gamma))
+			}
+			inst, err := NewInstance(prefixSpace, 2.5, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grownInst, err := NewInstance(fullSpace, 2.5, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p := randomDiffProfile(r, n, 0.25)
+			dy, err := NewDynEval(NewEvaluator(inst), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dy.Close()
+			for move := 0; move < 8; move++ {
+				mover := r.Intn(n)
+				alt := mutateStrategy(r, p.Strategy(mover), n, mover)
+				if err := p.SetStrategy(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var preGrowVersions []uint64
+			if cache := dy.Cache(); cache != nil {
+				for i := 0; i < n; i++ {
+					preGrowVersions = append(preGrowVersions, cache.PeerVersion(i))
+				}
+			}
+
+			if err := dy.Grow(NewEvaluator(grownInst)); err != nil {
+				t.Fatal(err)
+			}
+			grown, err := p.Grow(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = grown
+
+			// The replacement cache must continue the version clock: no
+			// post-grow PeerVersion may repeat a pre-grow value.
+			if cache := dy.Cache(); cache != nil {
+				for i := 0; i < m; i++ {
+					v := cache.PeerVersion(i)
+					for _, old := range preGrowVersions {
+						if v <= old {
+							t.Fatalf("peer %d version %d did not advance past pre-grow %d", i, v, old)
+						}
+					}
+				}
+			}
+
+			fresh := NewEvaluator(grownInst)
+			checkAll := func(step string) {
+				t.Helper()
+				for src := 0; src < m; src++ {
+					want := fresh.sssp(p, src, -1, Strategy{})
+					if j, ok := exactRowsEqual(dy.Row(src), want); !ok {
+						t.Fatalf("%s: row %d differs at %d: incremental %v, fresh %v",
+							step, src, j, dy.Row(src)[j], want[j])
+					}
+					if got, want := dy.PeerEval(src), fresh.PeerEval(p, src); got != want {
+						t.Fatalf("%s: PeerEval(%d) = %+v, fresh %+v", step, src, got, want)
+					}
+				}
+				ref, err := NewDynEval(NewEvaluator(grownInst), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				for idx := range dy.cnt {
+					if dy.cnt[idx] != ref.cnt[idx] {
+						t.Fatalf("%s: cnt[%d] = %d (incremental), %d (fresh)",
+							step, idx, dy.cnt[idx], ref.cnt[idx])
+					}
+				}
+			}
+			checkAll("immediately after grow")
+
+			// Join each newcomer: give it links, point an incumbent at it,
+			// then keep churning everyone.
+			for v := n; v < m; v++ {
+				alt := randomStrategy(r, m, v, 0.3)
+				if err := p.SetStrategy(v, alt); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(v, alt); err != nil {
+					t.Fatal(err)
+				}
+				u := r.Intn(n)
+				s := p.Strategy(u).Clone()
+				s.Add(v)
+				if err := p.SetStrategy(u, s); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(u, s); err != nil {
+					t.Fatal(err)
+				}
+				checkAll("after join")
+			}
+			for move := 0; move < 8; move++ {
+				mover := r.Intn(m)
+				alt := mutateStrategy(r, p.Strategy(mover), m, mover)
+				if err := p.SetStrategy(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dy.Apply(mover, alt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkAll("after post-join churn")
+		})
+	}
+}
+
+// TestDynEvalGrowRejectsMismatches pins the fail-loudly contract: a
+// grow target that shrinks, changes α, orientation, congestion or the
+// shared distances must be rejected without corrupting the engine.
+func TestDynEvalGrowRejectsMismatches(t *testing.T) {
+	r := rng.New(83)
+	n, m := 9, 12
+	prefixSpace, fullSpace := growSpaces(t, r, n, m)
+	inst, err := NewInstance(prefixSpace, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomDiffProfile(r, n, 0.3)
+	dy, err := NewDynEval(NewEvaluator(inst), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dy.Close()
+
+	mustFail := func(name string, target *Evaluator, wantSub string) {
+		t.Helper()
+		err := dy.Grow(target)
+		if err == nil {
+			t.Fatalf("%s: Grow accepted a mismatched target", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	mustFail("nil evaluator", nil, "needs an evaluator")
+
+	smaller := make([][]float64, n-2)
+	for i := range smaller {
+		smaller[i] = make([]float64, n-2)
+		for j := range smaller[i] {
+			smaller[i][j] = prefixSpace.Distance(i, j)
+		}
+	}
+	smallSpace, err := metric.NewMatrixUnchecked(smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallInst, err := NewInstance(smallSpace, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail("shrink", NewEvaluator(smallInst), "cannot grow")
+
+	alphaInst, err := NewInstance(fullSpace, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail("alpha change", NewEvaluator(alphaInst), "alpha")
+
+	undirInst, err := NewInstance(fullSpace, 2.5, WithUndirected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail("orientation change", NewEvaluator(undirInst), "orientation")
+
+	gammaInst, err := NewInstance(fullSpace, 2.5, WithCongestion(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail("congestion change", NewEvaluator(gammaInst), "congestion")
+
+	otherSpace, err := metric.UniformPoints(r, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherInst, err := NewInstance(otherSpace, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFail("distance mismatch", NewEvaluator(otherInst), "distance mismatch")
+
+	// After every rejected grow the engine must still be fully sound on
+	// the old instance.
+	fresh := NewEvaluator(inst)
+	for move := 0; move < 5; move++ {
+		mover := r.Intn(n)
+		alt := mutateStrategy(r, p.Strategy(mover), n, mover)
+		if err := p.SetStrategy(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dy.Apply(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			want := fresh.sssp(p, src, -1, Strategy{})
+			if j, ok := exactRowsEqual(dy.Row(src), want); !ok {
+				t.Fatalf("post-reject move %d: row %d differs at %d", move, src, j)
+			}
+		}
+	}
+}
+
+// TestBatchCachePeerVersionSoundAcrossIndexReuse is the adversarial
+// churn-seam test for the cache: a leave clears index v (the peer and
+// every link to it), a later join reuses the same index with different
+// links. After every single Apply in the script, (a) cached batch
+// evals must equal a cache-free evaluator's, and (b) any peer whose
+// PeerVersion is unchanged since its snapshot must still serve the
+// snapshotted evals — index reuse must never alias a stale environment
+// into a stable version.
+func TestBatchCachePeerVersionSoundAcrossIndexReuse(t *testing.T) {
+	r := rng.New(89)
+	n := 14
+	c := diffCase{n: n, linkProb: 0.3}
+	inst := buildDiffInstance(t, r, c)
+	ev := NewEvaluator(inst)
+	fresh := NewEvaluator(inst)
+	p := randomDiffProfile(r, n, c.linkProb)
+	dy, err := NewDynEval(ev, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dy.Close()
+	cache := dy.Cache()
+	if cache == nil {
+		t.Fatal("directed congestion-free instance must attach a BatchCache")
+	}
+
+	type snapshot struct {
+		version uint64
+		cands   []Strategy
+		evals   []Eval
+	}
+	snaps := make([]snapshot, n)
+	takeSnap := func(i int) {
+		b := ev.NewDeviationBatch(p, i)
+		s := snapshot{version: cache.PeerVersion(i)}
+		for k := 0; k < 4; k++ {
+			cand := randomStrategy(r, n, i, 0.4)
+			s.cands = append(s.cands, cand)
+			s.evals = append(s.evals, b.Eval(cand))
+		}
+		snaps[i] = s
+	}
+	for i := 0; i < n; i++ {
+		takeSnap(i)
+	}
+
+	apply := func(mover int, alt Strategy) {
+		t.Helper()
+		if err := p.SetStrategy(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dy.Apply(mover, alt); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got := ev.NewDeviationBatch(p, i)
+			want := fresh.NewDeviationBatch(p, i)
+			probe := randomStrategy(r, n, i, 0.5)
+			if ge, we := got.Eval(probe), want.Eval(probe); ge != we {
+				t.Fatalf("peer %d after move by %d: cached eval %+v, fresh %+v", i, mover, ge, we)
+			}
+			if cache.PeerVersion(i) == snaps[i].version {
+				b := ev.NewDeviationBatch(p, i)
+				for k, cand := range snaps[i].cands {
+					if got := b.Eval(cand); got != snaps[i].evals[k] {
+						t.Fatalf("peer %d: version stable at %d but eval drifted: %+v vs %+v",
+							i, snaps[i].version, got, snaps[i].evals[k])
+					}
+				}
+			} else {
+				takeSnap(i)
+			}
+		}
+	}
+
+	for cycle := 0; cycle < 4; cycle++ {
+		// Leave: peer v drops all links, every owner drops its link to v.
+		v := r.Intn(n)
+		apply(v, Strategy{})
+		for u := 0; u < n; u++ {
+			if u != v && p.Strategy(u).Contains(v) {
+				s := p.Strategy(u).Clone()
+				s.Remove(v)
+				apply(u, s)
+			}
+		}
+		// Join reusing index v: fresh links for v, and a couple of
+		// incumbents pick v back up.
+		apply(v, randomStrategy(r, n, v, 0.4))
+		for picks := 0; picks < 2; picks++ {
+			u := r.Intn(n)
+			if u == v {
+				continue
+			}
+			s := p.Strategy(u).Clone()
+			s.Add(v)
+			apply(u, s)
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // the paper's cost function c_i = α|s_i| + Σ stretch captures. Churn
 // support lets experiments contrast the paper's static setting ("no
 // churn") with a dynamic one.
+//
+// Liveness and routing state are delegated to the churn engine
+// (internal/churn): joins and leaves are incremental strategy deltas
+// against core.DynEval, lookups read maintained distance rows, and
+// selfish repairs are masked best responses in the online subgame
+// rather than heuristics against a liveness snapshot.
 package overlay
 
 import (

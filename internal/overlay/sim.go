@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/churn"
 	"selfishnet/internal/core"
 	"selfishnet/internal/rng"
 	"selfishnet/internal/stats"
@@ -19,13 +19,26 @@ type RepairStrategy int
 const (
 	// RepairNone leaves dead links in place (they are simply unusable).
 	RepairNone RepairStrategy = iota + 1
-	// RepairSelfish replays the game: the affected peer computes a
-	// best response (local search) against the current alive topology.
+	// RepairSelfish replays the game: the affected peer adopts a best
+	// response in the subgame induced on the online peers.
 	RepairSelfish
 	// RepairNearest relinks to the nearest alive peers, a simple
 	// protocol-driven structured repair.
 	RepairNearest
 )
+
+// repairKind maps the simulator's repair policy onto the churn
+// engine's.
+func (r RepairStrategy) repairKind() churn.RepairKind {
+	switch r {
+	case RepairSelfish:
+		return churn.RepairSelfish
+	case RepairNearest:
+		return churn.RepairNearest
+	default:
+		return churn.RepairNone
+	}
+}
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -76,22 +89,20 @@ type Metrics struct {
 }
 
 // Sim is a discrete-event overlay simulator. Create with New, run with
-// Run.
+// Run. Liveness, the live overlay and its distance rows live in a
+// churn.Engine: a churn event is a batch of incremental strategy deltas
+// (core.DynEval), lookups route over maintained SSSP rows instead of a
+// fresh computation per lookup, and selfish repairs are real masked
+// best responses in the online subgame.
 type Sim struct {
-	cfg   Config
-	ev    *core.Evaluator
-	prof  core.Profile
-	alive []bool
-	r     *rng.RNG
-	zipf  *rng.Zipf
+	cfg  Config
+	eng  *churn.Engine
+	r    *rng.RNG
+	zipf *rng.Zipf
 
 	queue eventQueue
 	seq   uint64
 	now   float64
-
-	// aliveCache memoizes aliveProfile between topology/liveness
-	// changes (lookups dominate event counts).
-	aliveCache *core.Profile
 
 	metrics Metrics
 }
@@ -114,65 +125,16 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Repair == 0 {
 		cfg.Repair = RepairNone
 	}
-	s := &Sim{
-		cfg:   cfg,
-		ev:    core.NewEvaluator(cfg.Instance),
-		prof:  cfg.Topology.Clone(),
-		alive: make([]bool, n),
-		r:     rng.New(cfg.Seed),
-		zipf:  rng.NewZipf(n, cfg.ZipfExponent),
+	eng, err := churn.NewEngine(core.NewEvaluator(cfg.Instance), cfg.Topology)
+	if err != nil {
+		return nil, err
 	}
-	for i := range s.alive {
-		s.alive[i] = true
-	}
-	return s, nil
-}
-
-// aliveProfile returns the overlay restricted to online peers: links
-// from or to offline peers are unusable. The result is cached until the
-// next churn or repair event and must not be mutated.
-func (s *Sim) aliveProfile() core.Profile {
-	if s.aliveCache != nil {
-		return *s.aliveCache
-	}
-	p := s.buildAliveProfile()
-	s.aliveCache = &p
-	return p
-}
-
-func (s *Sim) buildAliveProfile() core.Profile {
-	p := s.prof.Clone()
-	n := s.cfg.Instance.N()
-	for i := 0; i < n; i++ {
-		if !s.alive[i] {
-			if err := p.SetStrategy(i, core.Strategy{}); err != nil {
-				// Unreachable: empty strategies are always valid.
-				panic(fmt.Sprintf("overlay: internal error clearing strategy: %v", err))
-			}
-			continue
-		}
-		st := p.Strategy(i).Clone()
-		changed := false
-		st.ForEach(func(j int) bool {
-			if !s.alive[j] {
-				changed = true
-			}
-			return true
-		})
-		if changed {
-			st2 := st.Clone()
-			st.ForEach(func(j int) bool {
-				if !s.alive[j] {
-					st2.Remove(j)
-				}
-				return true
-			})
-			if err := p.SetStrategy(i, st2); err != nil {
-				panic(fmt.Sprintf("overlay: internal error pruning strategy: %v", err))
-			}
-		}
-	}
-	return p
+	return &Sim{
+		cfg:  cfg,
+		eng:  eng,
+		r:    rng.New(cfg.Seed),
+		zipf: rng.NewZipf(n, cfg.ZipfExponent),
+	}, nil
 }
 
 // Run executes the simulation to the configured horizon and returns the
@@ -221,11 +183,7 @@ func (s *Sim) Run() (Metrics, error) {
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
-		if s.alive[i] {
-			s.metrics.FinalAlive++
-		}
-	}
+	s.metrics.FinalAlive = s.eng.NumOnline()
 	return s.metrics, nil
 }
 
@@ -260,9 +218,10 @@ func siftDown(q eventQueue, i int) {
 	}
 }
 
-// handleLookup routes one lookup from the peer to a Zipf-chosen target.
+// handleLookup routes one lookup from the peer to a Zipf-chosen target,
+// reading the engine's maintained distance row — no per-lookup SSSP.
 func (s *Sim) handleLookup(src int) {
-	if !s.alive[src] {
+	if !s.eng.Online(src) {
 		return
 	}
 	target := s.zipf.Sample(s.r)
@@ -270,93 +229,63 @@ func (s *Sim) handleLookup(src int) {
 		return
 	}
 	s.metrics.Lookups++
-	if !s.alive[target] {
+	if !s.eng.Online(target) {
 		s.metrics.Failed++
 		return
 	}
-	alive := s.aliveProfile()
-	d, err := s.ev.Distances(alive, src)
-	if err != nil || math.IsInf(d[target], 1) {
+	d := s.eng.Distances(src)[target]
+	if math.IsInf(d, 1) {
 		s.metrics.Failed++
 		return
 	}
-	s.metrics.Latency.Add(d[target])
-	s.metrics.Stretch.Add(d[target] / s.cfg.Instance.Distance(src, target))
+	s.metrics.Latency.Add(d)
+	s.metrics.Stretch.Add(d / s.cfg.Instance.Distance(src, target))
 }
 
 // handlePing counts one maintenance round for the peer: one ping per
 // stored neighbor (alive or not; discovering death is the point).
 func (s *Sim) handlePing(peer int) {
-	if !s.alive[peer] {
+	if !s.eng.Online(peer) {
 		return
 	}
-	s.metrics.PingMessages += s.prof.OutDegree(peer)
+	s.metrics.PingMessages += s.eng.Stored().OutDegree(peer)
 }
 
-// handleChurn toggles the peer and, when repair is enabled, schedules a
-// repair for affected peers.
+// handleChurn toggles the peer through the engine and, when repair is
+// enabled, schedules a repair for affected peers: the owners that lost
+// a live link on a departure, the peer itself on a rejoin (its stored
+// links were replayed, but some neighbors may be gone).
 func (s *Sim) handleChurn(peer int) error {
-	s.alive[peer] = !s.alive[peer]
-	s.aliveCache = nil
 	s.metrics.ChurnEvents++
-	if s.cfg.Repair == RepairNone {
-		return nil
-	}
-	if s.alive[peer] {
-		// Rejoined: the peer itself repairs (it kept stale links).
-		s.schedule(s.now, evRepair, peer)
-		return nil
-	}
-	// Left: peers pointing at it repair.
-	n := s.cfg.Instance.N()
-	for i := 0; i < n; i++ {
-		if i != peer && s.alive[i] && s.prof.HasLink(i, peer) {
-			s.schedule(s.now, evRepair, i)
+	if s.eng.Online(peer) {
+		affected, err := s.eng.Leave(peer)
+		if err != nil {
+			return err
 		}
+		if s.cfg.Repair != RepairNone {
+			for _, u := range affected {
+				s.schedule(s.now, evRepair, u)
+			}
+		}
+		return nil
+	}
+	if _, err := s.eng.Join(peer); err != nil {
+		return err
+	}
+	if s.cfg.Repair != RepairNone {
+		s.schedule(s.now, evRepair, peer)
 	}
 	return nil
 }
 
-// handleRepair rebuilds the peer's strategy per the configured policy.
+// handleRepair rebuilds the peer's strategy per the configured policy,
+// delegated to the churn engine (masked best response for selfish,
+// nearest-online relink for structured repair).
 func (s *Sim) handleRepair(peer int) error {
-	if !s.alive[peer] {
+	if !s.eng.Online(peer) {
 		return nil
 	}
 	s.metrics.Repairs++
-	alive := s.aliveProfile()
-	s.aliveCache = nil // the strategy updates below stale the cache
-	switch s.cfg.Repair {
-	case RepairSelfish:
-		res, err := (&bestresponse.LocalSearch{}).BestResponse(s.ev, alive, peer)
-		if err != nil {
-			return err
-		}
-		return s.prof.SetStrategy(peer, res.Strategy)
-	case RepairNearest:
-		// Link to the two nearest alive peers (chain-like repair).
-		st := core.Strategy{}
-		type cand struct {
-			j int
-			d float64
-		}
-		var cands []cand
-		for j := 0; j < s.cfg.Instance.N(); j++ {
-			if j != peer && s.alive[j] {
-				cands = append(cands, cand{j, s.cfg.Instance.Distance(peer, j)})
-			}
-		}
-		for picked := 0; picked < 2 && picked < len(cands); picked++ {
-			best := -1
-			for ci, c := range cands {
-				if !st.Contains(c.j) && (best == -1 || c.d < cands[best].d) {
-					best = ci
-				}
-			}
-			st.Add(cands[best].j)
-			cands[best].d = math.Inf(1)
-		}
-		return s.prof.SetStrategy(peer, st)
-	default:
-		return nil
-	}
+	_, err := s.eng.Repair(peer, s.cfg.Repair.repairKind())
+	return err
 }

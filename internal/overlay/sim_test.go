@@ -237,6 +237,82 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestOfflineWindowEventDelivery pins event delivery across an offline
+// window, driving the handlers directly: an offline peer issues no
+// lookups and no pings; online peers keep pinging their stored (now
+// dead) neighbors — discovering death is the point; lookups across the
+// cut fail; and the rejoin replays stored memory, restoring both the
+// ping budget and full reachability with zero further failures.
+func TestOfflineWindowEventDelivery(t *testing.T) {
+	const n = 6
+	inst := testInstance(t, n, 1)
+	sim, err := New(Config{
+		Instance: inst,
+		Topology: opt.Chain(n),
+		Duration: 1,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingAll := func() int {
+		before := sim.metrics.PingMessages
+		for i := 0; i < n; i++ {
+			sim.handlePing(i)
+		}
+		return sim.metrics.PingMessages - before
+	}
+	// Chain(6) has 10 stored arcs (5 bidirectional links).
+	if got := pingAll(); got != 10 {
+		t.Fatalf("pings with everyone online = %d, want 10", got)
+	}
+
+	// The window opens: peer 3 goes offline, cutting the chain into
+	// {0,1,2} and {4,5}.
+	if _, err := sim.eng.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	// Only the offline peer goes silent; peers 2 and 4 still spend
+	// pings probing their stored link to 3.
+	if got := pingAll(); got != 8 {
+		t.Fatalf("pings during the window = %d, want 8 (10 minus peer 3's own)", got)
+	}
+	// An offline peer issues no lookups at all.
+	before := sim.metrics.Lookups
+	sim.handleLookup(3)
+	if sim.metrics.Lookups != before {
+		t.Fatal("offline peer issued a lookup")
+	}
+	// Lookups from an online peer route over maintained rows; some must
+	// cross the cut and fail, and every success is recorded.
+	for i := 0; i < 100; i++ {
+		sim.handleLookup(1)
+	}
+	duringFailed := sim.metrics.Failed
+	if duringFailed == 0 {
+		t.Fatal("expected failed lookups across the cut")
+	}
+	if got := int(sim.metrics.Latency.N()); got != sim.metrics.Lookups-sim.metrics.Failed {
+		t.Fatalf("latency samples = %d, want lookups-failed = %d",
+			got, sim.metrics.Lookups-sim.metrics.Failed)
+	}
+
+	// The window closes: the rejoin replays stored links on both sides.
+	if _, err := sim.eng.Join(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := pingAll(); got != 10 {
+		t.Fatalf("pings after rejoin = %d, want 10", got)
+	}
+	for i := 0; i < 100; i++ {
+		sim.handleLookup(1)
+	}
+	if sim.metrics.Failed != duringFailed {
+		t.Fatalf("failures after rejoin grew from %d to %d; stored links should restore reachability",
+			duringFailed, sim.metrics.Failed)
+	}
+}
+
 func TestZipfSkewsTargets(t *testing.T) {
 	// With a strong Zipf exponent most lookups hit peer 0; on a star
 	// centered at 0 those are direct, so skewed traffic must see lower

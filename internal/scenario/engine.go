@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"selfishnet/internal/analysis"
+	"selfishnet/internal/churn"
 	"selfishnet/internal/core"
 	"selfishnet/internal/dynamics"
 	"selfishnet/internal/export"
@@ -32,6 +33,19 @@ var measureNames = []string{
 	"social-cost", "link-cost", "stretch-cost", "c-over-lb",
 	"links", "max-stretch", "mean-stretch",
 	"nash", "max-indegree", "degree-gini",
+	"churn-rate", "churn-repair", "churn-events",
+	"restabilize-mean", "restabilize-max", "overshoot", "tail-stable",
+}
+
+// churnMeasure reports whether the measure reads the churn phase and
+// therefore requires a churn block in the spec.
+func churnMeasure(name string) bool {
+	switch name {
+	case "churn-rate", "churn-repair", "churn-events",
+		"restabilize-mean", "restabilize-max", "overshoot", "tail-stable":
+		return true
+	}
+	return false
 }
 
 // MeasureNames returns the known measure names in canonical order.
@@ -70,6 +84,12 @@ type outcome struct {
 
 	social *core.Cost
 	stats  *analysis.TopologyStats
+
+	// churnWorkers sizes the churn run's evaluator pool (wall-clock
+	// only); churnRes/churnErr cache the single churn.Run execution.
+	churnWorkers int
+	churnRes     *churn.Result
+	churnErr     error
 }
 
 func (o *outcome) socialCost() core.Cost {
@@ -78,6 +98,43 @@ func (o *outcome) socialCost() core.Cost {
 		o.social = &c
 	}
 	return *o.social
+}
+
+// churnResult lazily executes the spec's churn phase on the chosen
+// profile: one churn.Run per outcome no matter how many churn measures
+// read it, seeded by the spec seed (deterministic at any pool width).
+func (o *outcome) churnResult() (churn.Result, error) {
+	if o.churnRes == nil && o.churnErr == nil {
+		kind := churn.RepairSelfish
+		if o.spec.Churn.Repair != "" {
+			var err error
+			if kind, err = churn.ParseRepairKind(o.spec.Churn.Repair); err != nil {
+				o.churnErr = err
+				return churn.Result{}, err
+			}
+		}
+		res, err := churn.Run(churn.Config{
+			Instance:    o.inst,
+			Start:       o.chosen,
+			Rate:        o.spec.Churn.Rate,
+			Duration:    o.spec.Churn.Duration,
+			Repair:      kind,
+			MinOnline:   o.spec.Churn.MinOnline,
+			RepairSteps: o.spec.Churn.RepairSteps,
+			TailSteps:   o.spec.Churn.TailSteps,
+			Seed:        o.seed,
+			Workers:     o.churnWorkers,
+		})
+		if err != nil {
+			o.churnErr = err
+			return churn.Result{}, err
+		}
+		o.churnRes = &res
+	}
+	if o.churnErr != nil {
+		return churn.Result{}, o.churnErr
+	}
+	return *o.churnRes, nil
 }
 
 func (o *outcome) topoStats() (analysis.TopologyStats, error) {
@@ -144,7 +201,7 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 		ForceIncremental: forceIncremental,
 	}
 
-	out := &outcome{spec: spec, seed: seed, inst: inst, ev: ev}
+	out := &outcome{spec: spec, seed: seed, inst: inst, ev: ev, churnWorkers: parallelism}
 	if runs == 1 {
 		start, err := spec.Start.Build(inst.N(), r)
 		if err != nil {
@@ -255,6 +312,54 @@ func (o *outcome) measureCell(name string) (string, error) {
 			return "", err
 		}
 		return export.Num(st.DegreeGini), nil
+	case "churn-rate":
+		// Echo measures make sweep rows self-describing when the grid
+		// spans churn rates or repair strategies.
+		return export.Num(o.spec.Churn.Rate), nil
+	case "churn-repair":
+		if o.spec.Churn.Repair == "" {
+			return churn.RepairSelfish.String(), nil
+		}
+		return o.spec.Churn.Repair, nil
+	case "churn-events":
+		cr, err := o.churnResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Int(cr.Events), nil
+	case "restabilize-mean":
+		cr, err := o.churnResult()
+		if err != nil {
+			return "", err
+		}
+		if cr.Restabilize.N() == 0 {
+			return "-", nil
+		}
+		return export.Num(cr.Restabilize.Mean()), nil
+	case "restabilize-max":
+		cr, err := o.churnResult()
+		if err != nil {
+			return "", err
+		}
+		if cr.Restabilize.N() == 0 {
+			return "-", nil
+		}
+		return export.Num(cr.Restabilize.Max()), nil
+	case "overshoot":
+		cr, err := o.churnResult()
+		if err != nil {
+			return "", err
+		}
+		if cr.Overshoot.N() == 0 {
+			return "-", nil
+		}
+		return export.Num(cr.Overshoot.Mean()), nil
+	case "tail-stable":
+		cr, err := o.churnResult()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", cr.TailStable), nil
 	default:
 		return "", fmt.Errorf("scenario: unknown measure %q", name)
 	}

@@ -27,8 +27,11 @@ import (
 //     improvement tolerance (bestresponse.Tolerance), runs (1),
 //     link_prob (0.3, replica mode only) and the measure list
 //     (DefaultMeasures).
-//   - Quick trims are folded in (runs ≤ 2, max_steps ≤ 1500), so a
-//     quick spec hashes equal to the spec it actually executes as.
+//   - A non-zero churn block gets its defaults (repair "selfish",
+//     duration 5); a zero block stays zero.
+//   - Quick trims are folded in (runs ≤ 2, max_steps ≤ 1500, churn
+//     duration ≤ 1), so a quick spec hashes equal to the spec it
+//     actually executes as.
 //   - The auto-dispatch spellings "auto" for game.kernel and
 //     dynamics.engine collapse to "" (the documented automatic
 //     default), so pinning "auto" explicitly hashes like not pinning.
@@ -120,6 +123,21 @@ func (s Spec) Normalize() Spec {
 		}
 		if out.Start.Kind == "random" && out.Start.Q == 0 {
 			out.Start.Q = 0.3
+		}
+	}
+
+	// Churn: explicit repair strategy and horizon, with the quick trim
+	// folded in. A zero block stays zero (no churn phase), so existing
+	// specs hash unchanged.
+	if !out.Churn.isZero() {
+		if out.Churn.Repair == "" {
+			out.Churn.Repair = "selfish"
+		}
+		if out.Churn.Duration == 0 {
+			out.Churn.Duration = 5
+		}
+		if out.Quick && out.Churn.Duration > 1 {
+			out.Churn.Duration = 1
 		}
 	}
 

@@ -69,6 +69,13 @@ func TestSpecValidate(t *testing.T) {
 			*s = Spec{Experiment: "e4-poa", Dynamics: DynamicsSpec{Runs: 20}}
 		}},
 		{"start alongside replicas", func(s *Spec) { s.Dynamics.Runs = 5 }},
+		{"churn measure without block", func(s *Spec) { s.Measures = []string{"tail-stable"} }},
+		{"negative churn rate", func(s *Spec) { s.Churn = ChurnSpec{Rate: -1} }},
+		{"negative churn duration", func(s *Spec) { s.Churn = ChurnSpec{Rate: 1, Duration: -2} }},
+		{"unknown churn repair", func(s *Spec) { s.Churn = ChurnSpec{Rate: 1, Repair: "wishful"} }},
+		{"experiment plus churn", func(s *Spec) {
+			*s = Spec{Experiment: "e4-poa", Churn: ChurnSpec{Rate: 1}}
+		}},
 		{"link_prob without replicas", func(s *Spec) {
 			s.Start = StartSpec{}
 			s.Dynamics.LinkProb = 0.6
@@ -127,6 +134,8 @@ func TestRunSpecAllMeasures(t *testing.T) {
 	spec.Measures = MeasureNames()
 	spec.Start = StartSpec{}
 	spec.Dynamics.Runs = 3
+	// The churn-* measures require a churn phase.
+	spec.Churn = ChurnSpec{Rate: 0.05, Duration: 1}
 	tb, err := RunSpec(spec, Params{})
 	if err != nil {
 		t.Fatal(err)
@@ -278,6 +287,186 @@ func TestRegisterSpecCatalog(t *testing.T) {
 	bad.Name = ""
 	if err := RegisterSpec(bad, "x"); err == nil {
 		t.Fatal("RegisterSpec without a name should error")
+	}
+}
+
+// TestChurnSpecNormalizeAndHash pins the churn block's canonical form:
+// a zero block stays zero (existing specs hash unchanged), a non-zero
+// block gets explicit defaults, and quick trims fold into the hash.
+func TestChurnSpecNormalizeAndHash(t *testing.T) {
+	plain := declSpec()
+	if got := plain.Normalize().Churn; !got.isZero() {
+		t.Fatalf("zero churn block normalized to %+v", got)
+	}
+
+	spec := declSpec()
+	spec.Churn = ChurnSpec{Rate: 0.1}
+	norm := spec.Normalize().Churn
+	if norm.Repair != "selfish" || norm.Duration != 5 {
+		t.Fatalf("churn defaults not made explicit: %+v", norm)
+	}
+	explicit := spec
+	explicit.Churn = ChurnSpec{Rate: 0.1, Repair: "selfish", Duration: 5}
+	h1, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("spec with implicit churn defaults hashes differently from its explicit form")
+	}
+
+	quick := spec
+	quick.Quick = true
+	if got := quick.Normalize().Churn.Duration; got != 1 {
+		t.Fatalf("quick churn duration = %v, want trim to 1", got)
+	}
+}
+
+// TestRunSpecChurnMeasures runs a spec with a churn phase end to end:
+// every churn measure renders, and the table is byte-identical across
+// re-runs and parallelism widths (the churn engine's determinism
+// surfacing at the table layer).
+func TestRunSpecChurnMeasures(t *testing.T) {
+	spec := declSpec()
+	spec.Measures = []string{
+		"converged", "links",
+		"churn-rate", "churn-repair", "churn-events",
+		"restabilize-mean", "restabilize-max", "overshoot", "tail-stable",
+	}
+	spec.Churn = ChurnSpec{Rate: 0.1, Duration: 2}
+	base := renderSpec(t, spec, Params{Parallelism: 1})
+	if again := renderSpec(t, spec, Params{Parallelism: 1}); !bytes.Equal(base, again) {
+		t.Fatal("churn spec produced different tables on re-run")
+	}
+	if wide := renderSpec(t, spec, Params{Parallelism: 4}); !bytes.Equal(base, wide) {
+		t.Fatalf("parallelism changed the churn table:\n par1: %s\n par4: %s", base, wide)
+	}
+	tb, err := RunSpec(spec, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tb.Rows[0]
+	cols := map[string]string{}
+	for i, h := range tb.Headers {
+		cols[h] = row[i]
+	}
+	if cols["churn-rate"] != "0.1000" && cols["churn-rate"] != "0.1" {
+		t.Errorf("churn-rate cell = %q", cols["churn-rate"])
+	}
+	if cols["churn-repair"] != "selfish" {
+		t.Errorf("churn-repair cell = %q", cols["churn-repair"])
+	}
+	if cols["churn-events"] == "0" || cols["churn-events"] == "" {
+		t.Errorf("churn-events cell = %q, want events at rate 0.1 over 2s", cols["churn-events"])
+	}
+	if cols["tail-stable"] != "true" && cols["tail-stable"] != "false" {
+		t.Errorf("tail-stable cell = %q", cols["tail-stable"])
+	}
+}
+
+// TestSweepChurnAxes pins the churn axes: validation requires a base
+// churn block, repair names are checked, and the grid nests churn rate
+// then repair innermost.
+func TestSweepChurnAxes(t *testing.T) {
+	sw := Sweep{
+		Name:       "churn-sweep",
+		Base:       declSpec(),
+		Alphas:     []float64{1, 4},
+		ChurnRates: []float64{0.05, 0.2},
+		Repairs:    []string{"selfish", "nearest"},
+	}
+	sw.Base.Measures = nil
+	if err := sw.Validate(); err == nil {
+		t.Fatal("churn axes without a base churn block should be rejected")
+	}
+	sw.Base.Churn = ChurnSpec{Rate: 0.1, Duration: 1}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	badRepair := sw
+	badRepair.Repairs = []string{"selfish", "wishful"}
+	if err := badRepair.Validate(); err == nil {
+		t.Fatal("unknown repair axis value should be rejected")
+	}
+	negRate := sw
+	negRate.ChurnRates = []float64{-0.1}
+	if err := negRate.Validate(); err == nil {
+		t.Fatal("negative churn-rate axis should be rejected")
+	}
+
+	points := sw.Points()
+	if len(points) != 8 {
+		t.Fatalf("grid has %d points, want 8 (2 α × 2 rates × 2 repairs)", len(points))
+	}
+	want := []struct {
+		alpha, rate float64
+		repair      string
+	}{
+		{1, 0.05, "selfish"}, {1, 0.05, "nearest"}, {1, 0.2, "selfish"}, {1, 0.2, "nearest"},
+		{4, 0.05, "selfish"}, {4, 0.05, "nearest"}, {4, 0.2, "selfish"}, {4, 0.2, "nearest"},
+	}
+	for i, w := range want {
+		p := points[i]
+		if p.Game.Alpha != w.alpha || p.Churn.Rate != w.rate || p.Churn.Repair != w.repair {
+			t.Fatalf("point %d = α %v rate %v repair %q, want %+v",
+				i, p.Game.Alpha, p.Churn.Rate, p.Churn.Repair, w)
+		}
+	}
+}
+
+// TestSweepChurnRunGridsOverRateAndRepair runs a small churn sweep end
+// to end: rate × repair × α in one table, rows self-describing via the
+// echo measures, byte-identical at any width.
+func TestSweepChurnRunGridsOverRateAndRepair(t *testing.T) {
+	sw := Sweep{
+		Name:       "churn-grid",
+		Base:       declSpec(),
+		ChurnRates: []float64{0.05, 0.2},
+		Repairs:    []string{"selfish", "none"},
+	}
+	sw.Base.Churn = ChurnSpec{Rate: 0.1, Duration: 1}
+	sw.Base.Measures = []string{"churn-rate", "churn-repair", "churn-events", "tail-stable"}
+	render := func(par int) []byte {
+		tb, err := sw.Run(Params{}, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	if got := render(4); !bytes.Equal(seq, got) {
+		t.Fatalf("churn sweep differs across widths:\n%s\nvs\n%s", seq, got)
+	}
+	tb, err := sw.Run(Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("churn sweep rows = %d, want 4", len(tb.Rows))
+	}
+	// Echo measures make each row self-describing.
+	repairCol := -1
+	for i, h := range tb.Headers {
+		if h == "churn-repair" {
+			repairCol = i
+		}
+	}
+	if repairCol < 0 {
+		t.Fatalf("no churn-repair column in %v", tb.Headers)
+	}
+	wantRepairs := []string{"selfish", "none", "selfish", "none"}
+	for i, w := range wantRepairs {
+		if tb.Rows[i][repairCol] != w {
+			t.Fatalf("row %d repair = %q, want %q", i, tb.Rows[i][repairCol], w)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"selfishnet/internal/bestresponse"
+	"selfishnet/internal/churn"
 	"selfishnet/internal/core"
 	"selfishnet/internal/dynamics"
 	"selfishnet/internal/metric"
@@ -39,6 +40,11 @@ type Spec struct {
 	Game     GameSpec     `json:"game,omitzero"`
 	Start    StartSpec    `json:"start,omitzero"`
 	Dynamics DynamicsSpec `json:"dynamics,omitzero"`
+	// Churn, when set, runs a churn phase after the dynamics: the
+	// chosen final profile becomes the starting overlay of a seeded
+	// join/leave event stream (internal/churn), and the churn-* measures
+	// report its outcome. Zero means no churn phase.
+	Churn ChurnSpec `json:"churn,omitzero"`
 	// Measures are the columns to record, in order (see Measures() for
 	// the known names). Empty selects DefaultMeasures.
 	Measures []string `json:"measures,omitempty"`
@@ -255,6 +261,32 @@ func (s StartSpec) Build(n int, r *rng.RNG) (core.Profile, error) {
 	}
 }
 
+// ChurnSpec describes the churn phase layered on a dynamics run: the
+// chosen final profile is fed to churn.Run as the starting overlay.
+type ChurnSpec struct {
+	// Rate is each peer's toggle rate (events/second, exponential
+	// inter-arrival; the aggregate event rate is rate·n). Zero with
+	// other fields set runs only the rate→0 tail.
+	Rate float64 `json:"rate,omitempty"`
+	// Duration is the simulated churn horizon in seconds (default 5).
+	Duration float64 `json:"duration,omitempty"`
+	// Repair is the repair strategy: "selfish" (default), "nearest" or
+	// "none".
+	Repair string `json:"repair,omitempty"`
+	// MinOnline floors the online population (0 = engine default,
+	// max(2, n/4)).
+	MinOnline int `json:"min_online,omitempty"`
+	// RepairSteps bounds best-response moves per post-event
+	// restabilization pass (0 = engine default).
+	RepairSteps int `json:"repair_steps,omitempty"`
+	// TailSteps bounds the rate→0 tail stabilization (0 = engine
+	// default).
+	TailSteps int `json:"tail_steps,omitempty"`
+}
+
+// isZero reports whether no churn field is set — no churn phase runs.
+func (c ChurnSpec) isZero() bool { return c == (ChurnSpec{}) }
+
 // DynamicsSpec describes the best-response dynamics to run.
 type DynamicsSpec struct {
 	// Policy is the activation policy: "round-robin" (default),
@@ -356,7 +388,7 @@ func (s Spec) Validate() error {
 		// declarative field would be silently ignored, so reject them
 		// all (only Name/Description/Seed/Quick compose with Experiment).
 		if !s.Metric.isZero() || s.Game != (GameSpec{}) || !s.Start.isZero() ||
-			s.Dynamics != (DynamicsSpec{}) || len(s.Measures) > 0 {
+			s.Dynamics != (DynamicsSpec{}) || !s.Churn.isZero() || len(s.Measures) > 0 {
 			return fmt.Errorf("scenario: spec %q sets declarative fields alongside experiment %q; they would be ignored",
 				s.Name, s.Experiment)
 		}
@@ -408,9 +440,28 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: spec %q sets dynamics.link_prob without dynamics.runs > 1; single runs start from the start spec",
 			s.Name)
 	}
+	if !s.Churn.isZero() {
+		if s.Churn.Rate < 0 {
+			return fmt.Errorf("scenario: spec %q has negative churn rate %v", s.Name, s.Churn.Rate)
+		}
+		if s.Churn.Duration < 0 {
+			return fmt.Errorf("scenario: spec %q has negative churn duration %v", s.Name, s.Churn.Duration)
+		}
+		if s.Churn.MinOnline < 0 || s.Churn.RepairSteps < 0 || s.Churn.TailSteps < 0 {
+			return fmt.Errorf("scenario: spec %q has negative churn bounds", s.Name)
+		}
+		if s.Churn.Repair != "" {
+			if _, err := churn.ParseRepairKind(s.Churn.Repair); err != nil {
+				return err
+			}
+		}
+	}
 	for _, m := range s.Measures {
 		if !KnownMeasure(m) {
 			return fmt.Errorf("scenario: spec %q has unknown measure %q (have %v)", s.Name, m, MeasureNames())
+		}
+		if churnMeasure(m) && s.Churn.isZero() {
+			return fmt.Errorf("scenario: spec %q requests measure %q without a churn block", s.Name, m)
 		}
 	}
 	return nil

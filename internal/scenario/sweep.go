@@ -7,15 +7,17 @@ import (
 	"io"
 	"sync"
 
+	"selfishnet/internal/churn"
 	"selfishnet/internal/export"
 )
 
-// Sweep is a grid of declarative Specs over the axes α, n, seed and γ.
-// Axes left empty stay at the base spec's value, so a sweep degrades
-// gracefully down to a single point. Grid points are independent specs
-// with explicit seeds, so they execute concurrently with tables that
-// are byte-identical at every parallelism width: rows are reduced in
-// grid order (seed-major, then n, α, γ — the nesting order of Points).
+// Sweep is a grid of declarative Specs over the axes α, n, seed, γ,
+// churn rate and repair strategy. Axes left empty stay at the base
+// spec's value, so a sweep degrades gracefully down to a single point.
+// Grid points are independent specs with explicit seeds, so they
+// execute concurrently with tables that are byte-identical at every
+// parallelism width: rows are reduced in grid order (seed-major, then
+// n, α, γ, churn rate, repair — the nesting order of Points).
 type Sweep struct {
 	// Name titles the result table.
 	Name string `json:"name,omitempty"`
@@ -33,6 +35,12 @@ type Sweep struct {
 	Seeds []uint64 `json:"seeds,omitempty"`
 	// Gammas overrides Base.Game.Gamma per point.
 	Gammas []float64 `json:"gammas,omitempty"`
+	// ChurnRates overrides Base.Churn.Rate per point; Repairs overrides
+	// Base.Churn.Repair. Both require a churn block in the base spec and
+	// grid innermost (after γ), so a sweep can ask "does the equilibrium
+	// survive churn?" across rate × repair strategy × α in one table.
+	ChurnRates []float64 `json:"churn_rates,omitempty"`
+	Repairs    []string  `json:"repairs,omitempty"`
 }
 
 // Validate checks the sweep without running anything.
@@ -71,6 +79,19 @@ func (sw Sweep) Validate() error {
 				sw.Name, DefaultSeed)
 		}
 	}
+	if (len(sw.ChurnRates) > 0 || len(sw.Repairs) > 0) && sw.Base.Churn.isZero() {
+		return fmt.Errorf("scenario: sweep %q: churn axes need a churn block in the base spec", sw.Name)
+	}
+	for _, rate := range sw.ChurnRates {
+		if rate < 0 {
+			return fmt.Errorf("scenario: sweep %q: negative churn rate %v", sw.Name, rate)
+		}
+	}
+	for _, repair := range sw.Repairs {
+		if _, err := churn.ParseRepairKind(repair); err != nil {
+			return fmt.Errorf("scenario: sweep %q: %w", sw.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -101,19 +122,33 @@ func (sw Sweep) Points() []Spec {
 	if len(gammas) == 0 {
 		gammas = []float64{sw.Base.Game.Gamma}
 	}
+	rates := sw.ChurnRates
+	if len(rates) == 0 {
+		rates = []float64{sw.Base.Churn.Rate}
+	}
+	repairs := sw.Repairs
+	if len(repairs) == 0 {
+		repairs = []string{sw.Base.Churn.Repair}
+	}
 	var points []Spec
 	for _, seed := range seeds {
 		for _, n := range ns {
 			for _, alpha := range alphas {
 				for _, gamma := range gammas {
-					spec := sw.Base
-					spec.Seed = seed
-					if n.set {
-						spec.Metric.N = n.n
+					for _, rate := range rates {
+						for _, repair := range repairs {
+							spec := sw.Base
+							spec.Seed = seed
+							if n.set {
+								spec.Metric.N = n.n
+							}
+							spec.Game.Alpha = alpha
+							spec.Game.Gamma = gamma
+							spec.Churn.Rate = rate
+							spec.Churn.Repair = repair
+							points = append(points, spec)
+						}
 					}
-					spec.Game.Alpha = alpha
-					spec.Game.Gamma = gamma
-					points = append(points, spec)
 				}
 			}
 		}
@@ -201,7 +236,11 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 	if sw.Description != "" {
 		tb.Notes = append(tb.Notes, sw.Description)
 	}
-	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (seeds×n×α×γ), rows in grid order", len(points)))
+	axes := "seeds×n×α×γ"
+	if len(sw.ChurnRates) > 0 || len(sw.Repairs) > 0 {
+		axes += "×churn-rate×repair"
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (%s), rows in grid order", len(points), axes))
 	if cutOffPoints > 0 {
 		tb.Notes = append(tb.Notes, fmt.Sprintf("%d point(s): %s", cutOffPoints, nonEquilibriumNote))
 	}

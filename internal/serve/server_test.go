@@ -112,6 +112,36 @@ func TestRunCacheHitByteEquality(t *testing.T) {
 	}
 }
 
+// TestRunChurnSpecCached pins that churn specs flow through the cached
+// /v1/run path like any declarative spec: the churn measures render,
+// and a re-POST is a byte-identical cache hit (the churn engine's
+// determinism is what makes the content address sound).
+func TestRunChurnSpecCached(t *testing.T) {
+	const churnBody = `{"metric": {"family": "uniform", "n": 8}, "game": {"alpha": 2},
+		"churn": {"rate": 0.1, "duration": 1},
+		"measures": ["converged", "churn-events", "restabilize-mean", "overshoot", "tail-stable"], "quick": true}`
+	_, ts := newTestServer(t, Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/run", churnBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("churn run: %d %s", resp1.StatusCode, body1)
+	}
+	if c := resp1.Header.Get("X-Cache"); c != "miss" {
+		t.Errorf("first churn X-Cache = %q, want miss", c)
+	}
+	for _, col := range []string{"churn-events", "restabilize-mean", "overshoot", "tail-stable"} {
+		if !bytes.Contains(body1, []byte(col)) {
+			t.Errorf("churn run body lacks column %q: %s", col, body1)
+		}
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/run", churnBody)
+	if c := resp2.Header.Get("X-Cache"); c != "hit" {
+		t.Errorf("second churn X-Cache = %q, want hit", c)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("churn cache hit not byte-identical:\n%s\nvs\n%s", body1, body2)
+	}
+}
+
 // TestRunMatchesCLIEngine pins that the endpoint returns exactly the
 // bytes `topogame spec -json` would print for the same spec.
 func TestRunMatchesCLIEngine(t *testing.T) {
