@@ -11,6 +11,17 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl localhost:8080/metrics
 //
+// With -fabric the daemon is also a sweep coordinator: grids are split
+// into shards pulled by fabric workers — in-process via
+// -fabric-workers N, or remote topoworker processes speaking the
+// /v1/workers and /v1/shards endpoints. -cas DIR mounts a persistent
+// content-addressed result store (grid points and sweep tables survive
+// restarts; nothing is computed twice), -cache-bytes adds a byte bound
+// to the in-memory result cache, and -fabric-lease / -shard-points
+// tune worker liveness and shard granularity.
+//
+//	topogamed -addr :8080 -fabric -fabric-workers 2 -cas /var/tmp/topocas
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // in-flight jobs drain (bounded by -drain-timeout, after which they
 // are cancelled at the next grid-point boundary), and job states
@@ -27,10 +38,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"selfishnet/internal/cas"
 	_ "selfishnet/internal/experiments" // register the 13 paper runners
+	"selfishnet/internal/fabric"
 	"selfishnet/internal/serve"
 )
 
@@ -57,24 +71,76 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	pointPar := fs.Int("point-par", 0, "grid fan-out inside one sweep job (0 = all cores)")
 	state := fs.String("state", "", "persist job states to this file across restarts")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	cacheBytes := fs.Int64("cache-bytes", 0, "additional byte bound on the result cache (0 = entry bound only)")
+	casDir := fs.String("cas", "", "content-addressed result store directory (results survive restarts)")
+	fabricOn := fs.Bool("fabric", false, "run sweeps on the distributed fabric (mounts /v1/workers, /v1/shards for topoworker)")
+	fabricWorkers := fs.Int("fabric-workers", 0, "in-process fabric workers to start (requires -fabric)")
+	fabricLease := fs.Duration("fabric-lease", 10*time.Second, "fabric worker liveness lease")
+	shardPoints := fs.Int("shard-points", 8, "target grid points per fabric shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+	if *fabricWorkers > 0 && !*fabricOn {
+		return fmt.Errorf("-fabric-workers requires -fabric")
+	}
+
+	var store *cas.Store
+	if *casDir != "" {
+		var err error
+		if store, err = cas.Open(*casDir); err != nil {
+			return err
+		}
+		log.Printf("topogamed: content store at %s (%d blobs)", *casDir, store.Len())
+	}
+
+	var coord *fabric.Coordinator
+	if *fabricOn {
+		coord = fabric.NewCoordinator(fabric.Config{
+			Store:       store,
+			Lease:       *fabricLease,
+			ShardPoints: *shardPoints,
+		})
+	}
 
 	srv, err := serve.New(serve.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheEntries:     *cache,
+		CacheMaxBytes:    *cacheBytes,
 		MaxJobs:          *maxJobs,
 		RunParallelism:   *runPar,
 		PointParallelism: *pointPar,
 		StatePath:        *state,
+		Store:            store,
+		Fabric:           coord,
 	})
 	if err != nil {
 		return err
+	}
+
+	// In-process fabric workers: a single-box fleet with no extra
+	// processes. External topoworker processes can join alongside them.
+	var workerWG sync.WaitGroup
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	// LIFO: stopWorkers cancels first, then the WaitGroup join below
+	// sees the workers exit.
+	defer workerWG.Wait()
+	defer stopWorkers()
+	for i := 0; i < *fabricWorkers; i++ {
+		workerWG.Add(1)
+		go func(i int) {
+			defer workerWG.Done()
+			w := &fabric.Worker{
+				Client:      fabric.LocalClient{Coordinator: coord},
+				Name:        fmt.Sprintf("local-%d", i),
+				Parallelism: *pointPar,
+				Logf:        log.Printf,
+			}
+			_ = w.Run(workerCtx)
+		}(i)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"path/filepath"
@@ -113,4 +114,118 @@ func TestTopogamedFlagErrors(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, nil); err == nil {
 		t.Error("unbindable address should error")
 	}
+	if err := run(context.Background(), []string{"-fabric-workers", "2"}, nil); err == nil {
+		t.Error("-fabric-workers without -fabric should error")
+	}
+}
+
+// TestTopogamedFabricSweep boots the daemon in fabric mode with
+// in-process workers and a persistent store, runs a sweep, and then
+// proves the restart criterion: a fresh daemon over the same store
+// serves the re-submitted sweep from blobs with zero re-executions.
+func TestTopogamedFabricSweep(t *testing.T) {
+	casDir := filepath.Join(t.TempDir(), "cas")
+	fabricArgs := []string{"-fabric", "-fabric-workers", "2", "-cas", casDir}
+	base, shutdown := startServer(t, fabricArgs...)
+
+	sweep := `{
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": 1}},
+		"alphas": [1, 2],
+		"seeds": [1, 2]
+	}`
+	doc := postJSON(t, base+"/v1/sweep", sweep, http.StatusAccepted)
+	result1 := waitResult(t, base, doc["id"].(string))
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Restart over the same store: 200 (served from store), identical
+	// bytes, fabric executed nothing.
+	base2, shutdown2 := startServer(t, fabricArgs...)
+	doc2 := postJSON(t, base2+"/v1/sweep", sweep, http.StatusOK)
+	result2 := waitResult(t, base2, doc2["id"].(string))
+	if !bytes.Equal(result1, result2) {
+		t.Error("store-served sweep differs from the original run")
+	}
+	resp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]int64
+	if err := json.Unmarshal(metrics, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["fabric_points_executed"] != 0 {
+		t.Errorf("fabric_points_executed = %d after restart, want 0", m["fabric_points_executed"])
+	}
+	if m["jobs_from_store"] != 1 {
+		t.Errorf("jobs_from_store = %d, want 1", m["jobs_from_store"])
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// postJSON posts a body, asserts the status, and decodes the response.
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: %d %s, want %d", url, resp.StatusCode, b, wantStatus)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+	return doc
+}
+
+// waitResult polls a job until done and returns its result bytes.
+func waitResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		doc := getJSON(t, base+"/v1/jobs/"+id)
+		switch doc["state"] {
+		case "done":
+			resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("result: %d %s", resp.StatusCode, b)
+			}
+			return b
+		case "failed", "cancelled":
+			t.Fatalf("job %s settled as %v (%v)", id, doc["state"], doc["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v", id, doc["state"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+	return doc
 }

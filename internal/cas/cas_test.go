@@ -1,0 +1,252 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// h derives a syntactically valid content hash from a label (the store
+// never verifies blob bytes against the hash — the scenario layer owns
+// that contract — so tests can use arbitrary labels).
+func h(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return fmt.Sprintf("sha256:%x", sum)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte(`{"row":["1","2"]}`)
+	if err := s.Put("point", h("a"), blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("point", h("a"))
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Get returned %q, want %q", got, blob)
+	}
+	if _, ok, _ := s.Get("point", h("missing")); ok {
+		t.Error("Get found a never-stored key")
+	}
+	if _, ok, _ := s.Get("run", h("a")); ok {
+		t.Error("namespaces leaked: run/<hash> found after storing point/<hash>")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutIsWriteOnceIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", h("a"), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// A second put under the same content address is a no-op: content
+	// addressing guarantees the bytes are the same, so nothing is
+	// rewritten (idempotent shard completion relies on this).
+	if err := s.Put("point", h("a"), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Get("point", h("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("blob changed to %q after duplicate put", got)
+	}
+	if st := s.Stats(); st.DupPuts != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ ns, hash string }{
+		{"point", "sha256:short"},
+		{"point", "md5:" + strings.Repeat("ab", 32)},
+		{"../escape", h("a")},
+		{"UPPER", h("a")},
+		{"", h("a")},
+	} {
+		if err := s.Put(tc.ns, tc.hash, []byte("x")); err == nil {
+			t.Errorf("Put(%q, %q) accepted a bad key", tc.ns, tc.hash)
+		}
+	}
+}
+
+// TestReopenServesBlobs is the persistence half of the acceptance
+// criterion: a store reopened from disk serves every blob without
+// re-execution.
+func TestReopenServesBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put("point", h(fmt.Sprint(i)), []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 20 {
+		t.Fatalf("reopened store has %d entries, want 20", s2.Len())
+	}
+	for i := 0; i < 20; i++ {
+		got, ok, err := s2.Get("point", h(fmt.Sprint(i)))
+		if err != nil || !ok {
+			t.Fatalf("blob %d after reopen: ok=%v err=%v", i, ok, err)
+		}
+		if want := fmt.Sprintf("blob-%d", i); string(got) != want {
+			t.Fatalf("blob %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestOpenAdoptsUnindexedBlobs simulates a crash between the blob
+// rename and the index rewrite: the blob on disk is the truth and must
+// be adopted.
+func TestOpenAdoptsUnindexedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", h("indexed"), []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a blob directly, bypassing the index.
+	orphan := h("orphan")
+	hex := strings.TrimPrefix(orphan, "sha256:")
+	path := filepath.Join(dir, "blobs", "point", hex[:2], hex)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("adopted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get("point", orphan)
+	if err != nil || !ok {
+		t.Fatalf("orphan blob not adopted: ok=%v err=%v", ok, err)
+	}
+	if string(got) != "adopted" {
+		t.Fatalf("orphan blob = %q", got)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2", s2.Len())
+	}
+}
+
+// TestOpenSurvivesCorruptIndex: the index is a cache over the blob
+// tree, so garbage in it must not fail Open or lose blobs.
+func TestOpenSurvivesCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", h("a"), []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte(`{"entries": [{"trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with corrupt index: %v", err)
+	}
+	got, ok, err := s2.Get("point", h("a"))
+	if err != nil || !ok || string(got) != "survives" {
+		t.Fatalf("blob lost behind corrupt index: %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestPlacementMetadata(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewRing([]string{"node-a", "node-b", "node-c"}, 0)
+	s.SetRing(ring)
+	if err := s.Put("point", h("a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	owner := s.Owner("point", h("a"))
+	if owner == "" {
+		t.Fatal("no owner recorded with a ring installed")
+	}
+	if want := ring.Owner("point/" + h("a")); owner != want {
+		t.Fatalf("store owner %q, ring owner %q", owner, want)
+	}
+	// The owner is persisted in the index and survives reopen.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s2.Entries() {
+		if e.Hash == h("a") && e.Owner != owner {
+			t.Fatalf("persisted owner %q, want %q", e.Owner, owner)
+		}
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				// All workers fight over the same 16 keys: every put
+				// past the first per key is a duplicate no-op.
+				hash := h(fmt.Sprint(i))
+				if err := s.Put("point", hash, []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := s.Get("point", hash)
+				if err != nil || !ok {
+					t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+					return
+				}
+				if want := fmt.Sprintf("blob-%d", i); string(got) != want {
+					t.Errorf("get %d = %q", i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Fatalf("store has %d entries, want 16", s.Len())
+	}
+}

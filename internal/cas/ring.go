@@ -1,0 +1,100 @@
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash placement ring: it maps content keys onto
+// fleet nodes so every node (and every client) agrees on which node
+// owns a blob without coordination. Each node is planted at
+// `replicas` pseudo-random positions on a 64-bit circle (virtual
+// nodes, for balance); a key is owned by the first node clockwise of
+// its own position. Adding or removing one node moves only the keys
+// in the arcs it gains or loses — the property that keeps a fleet
+// rebalance from invalidating the whole store.
+//
+// Placement is advisory metadata in this repo: any node can serve any
+// blob it holds (content addressing makes the bytes identical
+// everywhere), so a stale ring view degrades locality, never
+// correctness.
+type Ring struct {
+	replicas int
+	points   []uint64 // sorted positions
+	owners   []string // owners[i] owns points[i], parallel to points
+	nodes    []string
+}
+
+// DefaultRingReplicas is the virtual-node count used when NewRing is
+// given replicas ≤ 0; 128 keeps the max/mean load ratio under ~1.25
+// for small fleets.
+const DefaultRingReplicas = 128
+
+// NewRing builds a ring over the given node names. Node order does not
+// matter — placement depends only on the set of names — and duplicate
+// names collapse.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	uniq := make(map[string]bool, len(nodes))
+	r := &Ring{replicas: replicas}
+	for _, n := range nodes {
+		if n == "" || uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringHash(fmt.Sprintf("%s#%d", n, i)))
+			r.owners = append(r.owners, n)
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Sort(ringOrder{r})
+	return r
+}
+
+// ringOrder sorts points and owners together.
+type ringOrder struct{ r *Ring }
+
+func (o ringOrder) Len() int { return len(o.r.points) }
+func (o ringOrder) Less(i, j int) bool {
+	if o.r.points[i] != o.r.points[j] {
+		return o.r.points[i] < o.r.points[j]
+	}
+	// Tie-break on owner name so placement is independent of input
+	// order even in the astronomically unlikely event of a collision.
+	return o.r.owners[i] < o.r.owners[j]
+}
+func (o ringOrder) Swap(i, j int) {
+	o.r.points[i], o.r.points[j] = o.r.points[j], o.r.points[i]
+	o.r.owners[i], o.r.owners[j] = o.r.owners[j], o.r.owners[i]
+}
+
+// ringHash positions a string on the circle: the first 8 bytes of its
+// SHA-256, a stable cross-process choice (no seed, no map iteration).
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.owners[i]
+}
+
+// Nodes returns the ring's node names, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}

@@ -1,0 +1,84 @@
+package cas
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "point/" + h(fmt.Sprint(i))
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2", "n2"}, 64) // shuffled + duplicate
+	for _, k := range ringKeys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("placement depends on node input order: %q → %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	want := fmt.Sprint([]string{"n1", "n2", "n3"})
+	if fmt.Sprint(a.Nodes()) != want || fmt.Sprint(b.Nodes()) != want {
+		t.Fatalf("Nodes() = %v / %v, want %s", a.Nodes(), b.Nodes(), want)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	for _, k := range ringKeys(4000) {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns nothing: %v", n, counts)
+		}
+		// With 128 virtual nodes the load ratio stays well under 2×.
+		if counts[n] > 2000 {
+			t.Fatalf("node %s owns %d of 4000 keys — ring badly unbalanced: %v", n, counts[n], counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding one node must only move keys onto
+// the new node — no key changes hands between surviving nodes.
+func TestRingMinimalMovement(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	keys := ringKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			if is != "n4" {
+				t.Fatalf("key %q moved %s → %s, not onto the new node", k, was, is)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new node took no keys")
+	}
+	// Expected share is 1/4; anything past half the keyspace means the
+	// ring is not doing consistent hashing.
+	if moved > len(keys)/2 {
+		t.Fatalf("adding one node moved %d/%d keys", moved, len(keys))
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("point/" + h("a")); owner != "" {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+	solo := NewRing([]string{"only"}, 0)
+	for _, k := range ringKeys(50) {
+		if solo.Owner(k) != "only" {
+			t.Fatal("single-node ring routed a key elsewhere")
+		}
+	}
+}

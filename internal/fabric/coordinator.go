@@ -1,0 +1,562 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"selfishnet/internal/cas"
+	"selfishnet/internal/export"
+	"selfishnet/internal/scenario"
+)
+
+// pointNamespace is the cas.Store namespace of rendered grid-point
+// rows (JSON-encoded scenario.PointResult keyed by the point's spec
+// hash). It is distinct from the serve layer's "run" namespace, which
+// stores whole rendered tables under the same spec hashes.
+const pointNamespace = "point"
+
+// Config tunes a Coordinator. The zero value is usable.
+type Config struct {
+	// Store, when non-nil, persists every completed point row and
+	// prefills submissions from disk — the cross-restart dedup layer.
+	Store *cas.Store
+	// ShardPoints is the target points-per-shard when a submission does
+	// not pin a shard count (default 8).
+	ShardPoints int
+	// Lease is the worker liveness window: a worker that neither
+	// heartbeats nor calls in for longer is declared lost and its
+	// shards are reassigned (default 10s).
+	Lease time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardPoints <= 0 {
+		c.ShardPoints = 8
+	}
+	if c.Lease <= 0 {
+		c.Lease = 10 * time.Second
+	}
+	return c
+}
+
+// workerState tracks one registered worker's lease and assignments.
+type workerState struct {
+	id       string
+	name     string
+	lastBeat time.Time
+	shards   map[string]bool
+}
+
+// assignment binds an outstanding shard to the worker executing it.
+type assignment struct {
+	shard  *Shard
+	worker string
+	job    *Job
+}
+
+// Counters is the fabric metrics snapshot (field names match the
+// /metrics JSON keys).
+type Counters struct {
+	WorkersRegistered int64 `json:"fabric_workers_registered"`
+	WorkersLive       int64 `json:"fabric_workers_live"`
+	WorkersLost       int64 `json:"fabric_workers_lost"`
+	JobsSubmitted     int64 `json:"fabric_jobs_submitted"`
+	JobsDone          int64 `json:"fabric_jobs_done"`
+	JobsFailed        int64 `json:"fabric_jobs_failed"`
+	JobsCancelled     int64 `json:"fabric_jobs_cancelled"`
+	ShardsPending     int64 `json:"fabric_shards_pending"`
+	ShardsAssigned    int64 `json:"fabric_shards_assigned"`
+	ShardsCompleted   int64 `json:"fabric_shards_completed"`
+	ShardsReassigned  int64 `json:"fabric_shards_reassigned"`
+	DuplicateResults  int64 `json:"fabric_duplicate_results"`
+	PointsExecuted    int64 `json:"fabric_points_executed"`
+	PointsFromStore   int64 `json:"fabric_points_from_store"`
+}
+
+// Coordinator owns the shard queue, the worker registry and the
+// in-flight jobs. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	workers    map[string]*workerState
+	pending    []*Shard
+	assigned   map[string]*assignment  // shard id → live assignment
+	shards     map[string]*shardRecord // shard id → shard+job, for the job's lifetime
+	memo       map[string]scenario.PointResult
+	nextJob    int64
+	nextWorker int64
+	counters   Counters
+}
+
+// shardRecord outlives the shard's assignment so duplicate
+// completions after a reassignment can still be validated and
+// counted as no-ops.
+type shardRecord struct {
+	shard *Shard
+	job   *Job
+}
+
+// NewCoordinator builds a coordinator. Pass a cas.Store via Config to
+// make point rows survive restarts.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:      cfg.withDefaults(),
+		jobs:     make(map[string]*Job),
+		workers:  make(map[string]*workerState),
+		assigned: make(map[string]*assignment),
+		shards:   make(map[string]*shardRecord),
+		memo:     make(map[string]scenario.PointResult),
+	}
+}
+
+// Job is one submitted sweep moving through the fabric. Wait for its
+// table with Wait; inspect dedup effectiveness with Counts.
+type Job struct {
+	ID    string
+	coord *Coordinator
+	sweep scenario.Sweep
+	hash  string
+
+	mu        sync.Mutex
+	results   []scenario.PointResult
+	filled    []bool
+	remaining int
+	executed  int
+	fromStore int
+	progress  func(done, total int)
+	table     *export.Table
+	err       error
+	finished  bool
+	done      chan struct{}
+}
+
+// Submit validates and enumerates the sweep, prefills every point
+// already present in the result store (or completed earlier in this
+// coordinator's lifetime), splits the remainder into `shards`
+// contiguous shards (≤ 0 selects the Config.ShardPoints default), and
+// queues them for workers. progress, when non-nil, is called with
+// monotone (done, total) point counts, prefills included. Params.Quick
+// folds quick mode into every point, exactly like Sweep.Run.
+func (c *Coordinator) Submit(sw scenario.Sweep, p scenario.Params, shards int, progress func(done, total int)) (*Job, error) {
+	run := sw
+	if p.Quick {
+		// Folding quick into the base reaches every grid point, and the
+		// assembled table's title/notes/headers do not read Quick — so
+		// this is exactly RunContext's per-point fold.
+		run.Base.Quick = true
+	}
+	points, err := run.EnumeratePoints()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := run.Hash()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.nextJob++
+	id := fmt.Sprintf("fjob-%d", c.nextJob)
+	c.counters.JobsSubmitted++
+	c.mu.Unlock()
+
+	j := &Job{
+		ID:        id,
+		coord:     c,
+		sweep:     run,
+		hash:      hash,
+		results:   make([]scenario.PointResult, len(points)),
+		filled:    make([]bool, len(points)),
+		remaining: len(points),
+		progress:  progress,
+		done:      make(chan struct{}),
+	}
+
+	// Prefill from the memo and the persistent store: a point executed
+	// for any earlier sweep (or before a restart) never runs again.
+	var rest []scenario.Point
+	for _, pt := range points {
+		if res, ok := c.lookup(pt.Hash); ok {
+			j.fill(pt.Index, res, false)
+			continue
+		}
+		rest = append(rest, pt)
+	}
+
+	c.mu.Lock()
+	c.jobs[id] = j
+	for _, shard := range splitShards(id, hash, run.Measures(), rest, shards, c.cfg.ShardPoints) {
+		c.pending = append(c.pending, shard)
+		c.shards[shard.ID] = &shardRecord{shard: shard, job: j}
+	}
+	c.mu.Unlock()
+
+	j.mu.Lock()
+	doneAlready := j.remaining == 0 && !j.finished
+	j.mu.Unlock()
+	if doneAlready {
+		j.finalize()
+	}
+	return j, nil
+}
+
+// lookup finds a completed point row by content hash: the in-memory
+// memo first, then the persistent store (whose hit is memoized).
+func (c *Coordinator) lookup(hash string) (scenario.PointResult, bool) {
+	c.mu.Lock()
+	res, ok := c.memo[hash]
+	store := c.cfg.Store
+	c.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if store == nil {
+		return scenario.PointResult{}, false
+	}
+	blob, ok, err := store.Get(pointNamespace, hash)
+	if err != nil || !ok {
+		return scenario.PointResult{}, false
+	}
+	if err := json.Unmarshal(blob, &res); err != nil {
+		// A malformed blob is treated as a miss: the point re-executes
+		// and the put is a no-op (write-once), leaving the store as-is.
+		return scenario.PointResult{}, false
+	}
+	c.mu.Lock()
+	c.memo[hash] = res
+	c.mu.Unlock()
+	return res, true
+}
+
+// record persists a completed point row under its content hash.
+func (c *Coordinator) record(hash string, res scenario.PointResult) {
+	c.mu.Lock()
+	_, dup := c.memo[hash]
+	if !dup {
+		c.memo[hash] = res
+	}
+	store := c.cfg.Store
+	c.mu.Unlock()
+	if store != nil {
+		if blob, err := json.Marshal(res); err == nil {
+			_ = store.Put(pointNamespace, hash, blob)
+		}
+	}
+}
+
+// splitShards slices the unfinished points into `count` contiguous
+// shards (≤ 0 derives the count from shardPoints); empty input yields
+// no shards.
+func splitShards(jobID, sweepHash string, measures []string, points []scenario.Point, count, shardPoints int) []*Shard {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if count <= 0 {
+		count = (n + shardPoints - 1) / shardPoints
+	}
+	if count > n {
+		count = n
+	}
+	shards := make([]*Shard, 0, count)
+	for i := 0; i < count; i++ {
+		// Balanced contiguous ranges: the first n%count shards get one
+		// extra point.
+		lo, hi := i*n/count, (i+1)*n/count
+		shards = append(shards, &Shard{
+			ID:        fmt.Sprintf("%s-shard-%d", jobID, i),
+			Job:       jobID,
+			SweepHash: sweepHash,
+			Measures:  append([]string(nil), measures...),
+			Points:    points[lo:hi],
+		})
+	}
+	return shards
+}
+
+// Register adds a worker under a fresh id and returns its lease.
+func (c *Coordinator) Register(name string) WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	id := fmt.Sprintf("w-%d", c.nextWorker)
+	c.workers[id] = &workerState{id: id, name: name, lastBeat: time.Now(), shards: make(map[string]bool)}
+	c.counters.WorkersRegistered++
+	return WorkerInfo{ID: id, Lease: c.cfg.Lease}
+}
+
+// Heartbeat extends a worker's lease. ErrUnknownWorker asks the
+// worker to re-register.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(time.Now())
+	w, ok := c.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = time.Now()
+	return nil
+}
+
+// NextShard assigns the next pending shard to the worker (nil when
+// the queue is empty). The call counts as a heartbeat, and lapsed
+// workers are reaped first — a polling fleet therefore detects losses
+// within one poll interval past the lease.
+func (c *Coordinator) NextShard(workerID string) (*Shard, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	c.reapLocked(now)
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastBeat = now
+	if len(c.pending) == 0 {
+		return nil, nil
+	}
+	shard := c.pending[0]
+	c.pending = c.pending[1:]
+	c.assigned[shard.ID] = &assignment{shard: shard, worker: workerID, job: c.shards[shard.ID].job}
+	w.shards[shard.ID] = true
+	c.counters.ShardsAssigned++
+	return shard, nil
+}
+
+// CompleteShard accepts a worker's results for a shard. Completion is
+// idempotent: a shard that was reassigned and finishes twice lands on
+// already-filled slots and changes nothing (the rows are
+// content-addressed and equal by construction). An unknown shard id
+// is an error; a completion for a finished job is a counted no-op.
+func (c *Coordinator) CompleteShard(workerID, shardID string, res ShardResult) error {
+	c.mu.Lock()
+	now := time.Now()
+	c.reapLocked(now)
+	if w, ok := c.workers[workerID]; ok {
+		w.lastBeat = now
+		delete(w.shards, shardID)
+	}
+	rec, known := c.shards[shardID]
+	if !known {
+		c.mu.Unlock()
+		return fmt.Errorf("fabric: unknown shard %q", shardID)
+	}
+	j, shard := rec.job, rec.shard
+	if a, ok := c.assigned[shardID]; ok && a.worker == workerID {
+		delete(c.assigned, shardID)
+	} else {
+		// Either the shard was reassigned after this worker was
+		// declared lost (its identical results still count — the live
+		// assignee's completion becomes the duplicate), or it already
+		// completed elsewhere. Both are counted no-op overlaps.
+		c.counters.DuplicateResults++
+	}
+	c.counters.ShardsCompleted++
+	c.mu.Unlock()
+
+	if res.Error != "" {
+		c.failJob(j, fmt.Errorf("fabric: shard %s on %s: %s", shardID, workerID, res.Error))
+		return nil
+	}
+	if len(res.Results) != len(shard.Points) {
+		return fmt.Errorf("fabric: shard %s: %d result(s) for %d point(s)", shardID, len(res.Results), len(shard.Points))
+	}
+	for i, pt := range shard.Points {
+		if j.fill(pt.Index, res.Results[i], true) {
+			c.record(pt.Hash, res.Results[i])
+		}
+	}
+	j.mu.Lock()
+	doneNow := j.remaining == 0 && !j.finished
+	j.mu.Unlock()
+	if doneNow {
+		j.finalize()
+	}
+	return nil
+}
+
+// reapLocked declares workers lost once their lease lapses and
+// requeues their outstanding shards. Callers hold c.mu.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) <= c.cfg.Lease {
+			continue
+		}
+		for shardID := range w.shards {
+			a, ok := c.assigned[shardID]
+			if !ok || a.worker != id {
+				continue
+			}
+			delete(c.assigned, shardID)
+			j := a.job
+			j.mu.Lock()
+			live := !j.finished
+			j.mu.Unlock()
+			if live {
+				c.pending = append(c.pending, a.shard)
+				c.counters.ShardsReassigned++
+			}
+		}
+		delete(c.workers, id)
+		c.counters.WorkersLost++
+	}
+}
+
+// failJob terminates a job with an error and drops its queued shards.
+func (c *Coordinator) failJob(j *Job, err error) {
+	c.dropShards(j)
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.err = err
+	j.finished = true
+	close(j.done)
+	j.mu.Unlock()
+	c.mu.Lock()
+	c.counters.JobsFailed++
+	c.mu.Unlock()
+}
+
+// Cancel stops a job: queued shards are dropped, in-flight shard
+// completions become no-ops, and Wait returns context.Canceled.
+func (c *Coordinator) Cancel(j *Job) {
+	c.dropShards(j)
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.err = context.Canceled
+	j.finished = true
+	close(j.done)
+	j.mu.Unlock()
+	c.mu.Lock()
+	c.counters.JobsCancelled++
+	c.mu.Unlock()
+}
+
+// dropShards removes a job's shards from the pending queue.
+func (c *Coordinator) dropShards(j *Job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.pending[:0]
+	for _, s := range c.pending {
+		if c.shards[s.ID].job != j {
+			kept = append(kept, s)
+		}
+	}
+	// Zero the tail so dropped shards do not linger in the backing
+	// array.
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	c.pending = kept
+}
+
+// Stats returns the counter snapshot.
+func (c *Coordinator) Stats() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.counters
+	st.WorkersLive = int64(len(c.workers))
+	st.ShardsPending = int64(len(c.pending))
+	st.ShardsAssigned = int64(len(c.assigned))
+	return st
+}
+
+// fill stores one point's result if its slot is still empty,
+// reporting whether it was. executed distinguishes worker executions
+// from store prefetches in the dedup counters.
+func (j *Job) fill(index int, res scenario.PointResult, executed bool) bool {
+	j.mu.Lock()
+	if j.finished || j.filled[index] {
+		j.mu.Unlock()
+		if executed {
+			j.coord.mu.Lock()
+			j.coord.counters.DuplicateResults++
+			j.coord.mu.Unlock()
+		}
+		return false
+	}
+	j.filled[index] = true
+	j.results[index] = res
+	j.remaining--
+	if executed {
+		j.executed++
+	} else {
+		j.fromStore++
+	}
+	done, total := len(j.filled)-j.remaining, len(j.filled)
+	progress := j.progress
+	j.mu.Unlock()
+
+	j.coord.mu.Lock()
+	if executed {
+		j.coord.counters.PointsExecuted++
+	} else {
+		j.coord.counters.PointsFromStore++
+	}
+	j.coord.mu.Unlock()
+	if progress != nil {
+		progress(done, total)
+	}
+	return true
+}
+
+// finalize assembles the sweep table once every slot is filled.
+func (j *Job) finalize() {
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	table, err := j.sweep.Assemble(j.results)
+	j.table, j.err = table, err
+	j.finished = true
+	close(j.done)
+	j.mu.Unlock()
+	j.coord.mu.Lock()
+	if err == nil {
+		j.coord.counters.JobsDone++
+	} else {
+		j.coord.counters.JobsFailed++
+	}
+	j.coord.mu.Unlock()
+}
+
+// Wait blocks until the job finishes and returns its table — exactly
+// the bytes-producing table Sweep.Run builds for the same grid. A
+// ctx cancellation cancels the job (Canceled error, like
+// Sweep.RunContext).
+func (j *Job) Wait(ctx context.Context) (*export.Table, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		j.coord.Cancel(j)
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table, j.err
+}
+
+// Counts reports how the job's points were satisfied: executed by
+// workers vs served from the result store, out of the grid total. The
+// restart acceptance criterion asserts executed == 0 on a
+// re-submitted sweep.
+func (j *Job) Counts() (executed, fromStore, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.executed, j.fromStore, len(j.filled)
+}
+
+// Hash returns the sweep's canonical content hash.
+func (j *Job) Hash() string { return j.hash }

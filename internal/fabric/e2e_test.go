@@ -1,0 +1,217 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"selfishnet/internal/cas"
+	"selfishnet/internal/scenario"
+)
+
+// startWorkers launches n in-process workers against the coordinator
+// and returns a stop function that cancels and joins them.
+func startWorkers(c *Coordinator, n int) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{
+				Client:      LocalClient{Coordinator: c},
+				Name:        fmt.Sprintf("e2e-%d", i),
+				Parallelism: 1,
+				Poll:        5 * time.Millisecond,
+			}
+			_ = w.Run(ctx)
+		}(i)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestByteIdentityMatrix is the acceptance matrix: shard counts
+// {1, 4, 16} × worker counts {1, 3} must all reproduce the
+// single-process Sweep.Run table byte-for-byte — no duplicate rows,
+// no holes, no reordering.
+func TestByteIdentityMatrix(t *testing.T) {
+	want, err := testSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := tableJSON(t, want)
+
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				c := NewCoordinator(Config{Lease: time.Second})
+				j, err := c.Submit(testSweep(), scenario.Params{}, shards, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stop := startWorkers(c, workers)
+				defer stop()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				table, err := j.Wait(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := tableJSON(t, table); got != wantJSON {
+					t.Fatalf("shards=%d workers=%d: table differs from single-process run:\ngot:\n%s\nwant:\n%s",
+						shards, workers, got, wantJSON)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerLossMidSweep kills a worker holding a shard mid-sweep: the
+// lease lapses, the shard is reassigned, and the final table is still
+// byte-identical.
+func TestWorkerLossMidSweep(t *testing.T) {
+	want, err := testSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCoordinator(Config{Lease: 80 * time.Millisecond})
+	j, err := c.Submit(testSweep(), scenario.Params{}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker registers, grabs a shard, and goes silent —
+	// no heartbeat, no completion. This is a worker crash as the
+	// coordinator perceives one.
+	doomed := c.Register("doomed")
+	taken, err := c.NextShard(doomed.ID)
+	if err != nil || taken == nil {
+		t.Fatalf("doomed worker got no shard: %v, %v", taken, err)
+	}
+
+	// Two survivors finish the sweep; their polling reaps the corpse
+	// once the lease lapses and re-executes the orphaned shard.
+	stop := startWorkers(c, 2)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	table, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, table, want)
+
+	st := c.Stats()
+	if st.WorkersLost != 1 {
+		t.Errorf("WorkersLost = %d, want 1", st.WorkersLost)
+	}
+	if st.ShardsReassigned != 1 {
+		t.Errorf("ShardsReassigned = %d, want 1", st.ShardsReassigned)
+	}
+}
+
+// TestStoreSurvivesCoordinatorRestart is the persistence acceptance
+// criterion: after a coordinator "restart" (new Coordinator over the
+// store directory reopened from disk), a re-submitted sweep is served
+// entirely from blobs — the executed counter stays at zero.
+func TestStoreSurvivesCoordinatorRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCoordinator(Config{Store: store, Lease: time.Second})
+	j, err := c.Submit(testSweep(), scenario.Params{}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startWorkers(c, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	want, err := j.Wait(ctx)
+	stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the store from disk under a fresh coordinator
+	// with no memo and no workers at all.
+	store2, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCoordinator(Config{Store: store2, Lease: time.Second})
+	j2, err := c2.Submit(testSweep(), scenario.Params{}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := j2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, table, want)
+	executed, fromStore, total := j2.Counts()
+	if executed != 0 {
+		t.Fatalf("re-submitted sweep executed %d points after restart, want 0", executed)
+	}
+	if fromStore != total || total == 0 {
+		t.Fatalf("counts = (%d, %d, %d): not everything came from the store", executed, fromStore, total)
+	}
+	if st := c2.Stats(); st.PointsExecuted != 0 || st.PointsFromStore != int64(total) {
+		t.Fatalf("coordinator counters after restart: %+v", st)
+	}
+}
+
+// TestFabricSmokeChurnGrid is the CI smoke: the checked-in churn sweep
+// grid runs under a coordinator with three workers, one of which is
+// killed mid-sweep, and the result must be byte-identical to the
+// single-process run. Quick mode keeps it CI-sized.
+func TestFabricSmokeChurnGrid(t *testing.T) {
+	f, err := os.Open("../../cmd/topogame/testdata/sweep_churn.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := scenario.ReadSweep(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := sw.Run(scenario.Params{Quick: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCoordinator(Config{Lease: 150 * time.Millisecond})
+	j, err := c.Submit(sw, scenario.Params{Quick: true}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 3 is the victim: it takes one shard and dies silently.
+	victim := c.Register("victim")
+	if _, err := c.NextShard(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := startWorkers(c, 2)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	table, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, table, want)
+	if st := c.Stats(); st.WorkersLost == 0 {
+		t.Error("victim worker was never declared lost")
+	}
+}

@@ -1,0 +1,284 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"selfishnet/internal/scenario"
+)
+
+// Worker is the execution loop: register, heartbeat on a side
+// goroutine, and pull–execute–push shards until the context ends.
+// The same loop runs in-process (tests, topogamed -fabric-workers)
+// and inside cmd/topoworker.
+type Worker struct {
+	// Client binds the worker to a coordinator (LocalClient or
+	// HTTPClient).
+	Client Client
+	// Name labels the worker in coordinator logs ("" is fine).
+	Name string
+	// Parallelism is the per-point engine parallelism passed to
+	// scenario.RunPoint (0 = GOMAXPROCS).
+	Parallelism int
+	// Poll is the idle re-poll interval when the shard queue is empty
+	// (default 50ms).
+	Poll time.Duration
+	// Logf, when non-nil, receives operational events (registration,
+	// transient errors). The fabric never logs on its own.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run executes shards until ctx is done. Every failure is treated as
+// transient — a coordinator restart, a lapsed lease, a network blip
+// all re-register (after a poll backoff) and continue. Run only
+// returns ctx.Err(): a worker is a supervisor-friendly
+// forever-process.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		info, err := w.Client.Register(w.Name)
+		if err != nil {
+			w.logf("fabric worker %s: register: %v", w.Name, err)
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.logf("fabric worker %s: registered as %s (lease %s)", w.Name, info.ID, info.Lease)
+		err = w.serve(ctx, info, poll)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			w.logf("fabric worker %s (%s): %v; re-registering", w.Name, info.ID, err)
+			if err != ErrUnknownWorker && !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// serve is one registration's pull–execute–push loop. It returns
+// ErrUnknownWorker when the coordinator forgets us (the caller
+// re-registers) and ctx.Err() on shutdown.
+func (w *Worker) serve(ctx context.Context, info WorkerInfo, poll time.Duration) error {
+	// Heartbeat at a third of the lease so two beats can be lost
+	// before the coordinator declares us dead.
+	beat := info.Lease / 3
+	if beat <= 0 {
+		beat = poll
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(beat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				// A failed beat is recovered by the main loop's next
+				// call erroring with ErrUnknownWorker.
+				_ = w.Client.Heartbeat(info.ID)
+			}
+		}
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		shard, err := w.Client.Next(info.ID)
+		if err != nil {
+			return err
+		}
+		if shard == nil {
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		res := w.execute(ctx, shard)
+		if ctx.Err() != nil && res.Error != "" {
+			// Shutdown mid-shard: push nothing and let the lease
+			// expire — the coordinator reassigns the whole shard and
+			// determinism guarantees the replacement rows are
+			// identical.
+			return ctx.Err()
+		}
+		if err := w.Client.Complete(info.ID, shard.ID, res); err != nil {
+			return err
+		}
+	}
+}
+
+// execute renders every point in the shard, in shard order.
+func (w *Worker) execute(ctx context.Context, shard *Shard) ShardResult {
+	results := make([]scenario.PointResult, 0, len(shard.Points))
+	for _, pt := range shard.Points {
+		if err := ctx.Err(); err != nil {
+			return ShardResult{Error: err.Error()}
+		}
+		res, err := scenario.RunPoint(pt.Spec, shard.Measures, w.Parallelism)
+		if err != nil {
+			return ShardResult{Error: fmt.Sprintf("point %d: %v", pt.Index, err)}
+		}
+		results = append(results, res)
+	}
+	return ShardResult{Results: results}
+}
+
+// sleepCtx sleeps d unless ctx ends first, reporting whether the full
+// sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// LocalClient binds a Worker to a Coordinator in the same process —
+// the zero-infrastructure fleet used by tests and by topogamed's
+// built-in workers.
+type LocalClient struct {
+	Coordinator *Coordinator
+}
+
+// Register implements Client.
+func (c LocalClient) Register(name string) (WorkerInfo, error) {
+	return c.Coordinator.Register(name), nil
+}
+
+// Heartbeat implements Client.
+func (c LocalClient) Heartbeat(workerID string) error {
+	return c.Coordinator.Heartbeat(workerID)
+}
+
+// Next implements Client.
+func (c LocalClient) Next(workerID string) (*Shard, error) {
+	return c.Coordinator.NextShard(workerID)
+}
+
+// Complete implements Client.
+func (c LocalClient) Complete(workerID, shardID string, res ShardResult) error {
+	return c.Coordinator.CompleteShard(workerID, shardID, res)
+}
+
+// HTTPClient speaks the topogamed fabric endpoints:
+//
+//	POST /v1/workers/register         {"name": ...} → {"worker_id", "lease_ms"}
+//	POST /v1/workers/{id}/heartbeat   204, or 410 when unknown
+//	GET  /v1/shards/next?worker={id}  200 shard JSON, 204 empty queue, 410 unknown
+//	POST /v1/shards/{id}/result       {"worker_id", "results"|"error"} → 204
+//
+// 410 Gone maps to ErrUnknownWorker so the Worker loop re-registers.
+type HTTPClient struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c HTTPClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do sends one request and decodes the response into out (when
+// non-nil and the status is 200).
+func (c HTTPClient) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		}
+		return resp.StatusCode, nil
+	case http.StatusNoContent:
+		return resp.StatusCode, nil
+	case http.StatusGone:
+		return resp.StatusCode, ErrUnknownWorker
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, fmt.Errorf("fabric: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// Register implements Client.
+func (c HTTPClient) Register(name string) (WorkerInfo, error) {
+	var out RegisterResponse
+	if _, err := c.do(http.MethodPost, "/v1/workers/register", RegisterRequest{Name: name}, &out); err != nil {
+		return WorkerInfo{}, err
+	}
+	return WorkerInfo{ID: out.WorkerID, Lease: time.Duration(out.LeaseMillis) * time.Millisecond}, nil
+}
+
+// Heartbeat implements Client.
+func (c HTTPClient) Heartbeat(workerID string) error {
+	_, err := c.do(http.MethodPost, "/v1/workers/"+url.PathEscape(workerID)+"/heartbeat", nil, nil)
+	return err
+}
+
+// Next implements Client.
+func (c HTTPClient) Next(workerID string) (*Shard, error) {
+	var shard Shard
+	status, err := c.do(http.MethodGet, "/v1/shards/next?worker="+url.QueryEscape(workerID), nil, &shard)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &shard, nil
+}
+
+// Complete implements Client.
+func (c HTTPClient) Complete(workerID, shardID string, res ShardResult) error {
+	_, err := c.do(http.MethodPost, "/v1/shards/"+url.PathEscape(shardID)+"/result",
+		CompleteRequest{WorkerID: workerID, Results: res.Results, Error: res.Error}, nil)
+	return err
+}

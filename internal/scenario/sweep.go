@@ -156,6 +156,122 @@ func (sw Sweep) Points() []Spec {
 	return points
 }
 
+// Point is one grid point of a sweep: its position in grid order, the
+// fully-specified Spec, and the spec's canonical content hash
+// (Spec.Hash of the point as it would execute). The hash is the dedup
+// key the distributed fabric and the persistent result store share:
+// two sweeps whose grids overlap produce points with equal hashes, so
+// a point executed for one sweep serves the other from the store.
+type Point struct {
+	Index int    `json:"index"`
+	Spec  Spec   `json:"spec"`
+	Hash  string `json:"hash"`
+}
+
+// EnumeratePoints validates the sweep and expands its grid into hashed
+// points in grid order — the Specs Points returns, each paired with
+// its canonical hash. Quick mode must already be folded into the base
+// spec (as the serve layer does); the hashes then address the points
+// exactly as they execute.
+func (sw Sweep) EnumeratePoints() ([]Point, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	specs := sw.Points()
+	pts := make([]Point, len(specs))
+	for i, spec := range specs {
+		h, err := spec.Hash()
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = Point{Index: i, Spec: spec, Hash: h}
+	}
+	return pts, nil
+}
+
+// Measures returns the measure columns the sweep's rows record — the
+// base spec's list, or DefaultMeasures when it names none. The sweep
+// engine and the distributed fabric's shard assignments share it, so
+// rows rendered anywhere concatenate into the same table.
+func (sw Sweep) Measures() []string {
+	return append([]string(nil), effectiveMeasures(sw.Base)...)
+}
+
+// PointResult is the rendered outcome of one executed grid point: its
+// table row under the sweep's measure columns, plus the cut-off flag
+// the table footer aggregates. It is the unit of work the distributed
+// fabric ships back from workers and stores content-addressed.
+type PointResult struct {
+	Row            []string `json:"row"`
+	NonEquilibrium bool     `json:"non_equilibrium,omitempty"`
+}
+
+// RunPoint executes one grid point spec and renders its row under the
+// given measure columns (Sweep.Measures of the owning sweep).
+// parallelism is the point's internal fan-out width and never changes
+// the row. Concatenating RunPoint results in grid order and passing
+// them to Assemble reproduces Sweep.Run byte-for-byte — the invariant
+// the distributed fabric's reassembly rests on.
+func RunPoint(spec Spec, measures []string, parallelism int) (PointResult, error) {
+	out, err := runDeclarative(spec, parallelism)
+	if err != nil {
+		return PointResult{}, err
+	}
+	row, err := out.row(measures)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return PointResult{Row: row, NonEquilibrium: out.nonEquilibrium}, nil
+}
+
+// Assemble reduces per-point results, in grid order, into the sweep's
+// result table — exactly the table Run produces when it executes the
+// same points itself. Results must be complete (one per grid point, in
+// grid order); the fabric coordinator guarantees that by filling an
+// index-addressed slice before calling Assemble.
+func (sw Sweep) Assemble(results []PointResult) (*export.Table, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	points := sw.Points()
+	if len(results) != len(points) {
+		return nil, fmt.Errorf("scenario: sweep %q: %d point result(s) for a %d-point grid",
+			sw.Name, len(results), len(points))
+	}
+	measures := effectiveMeasures(sw.Base)
+	headers := specHeaders(measures)
+	rows := make([][]string, len(results))
+	cutOffPoints := 0
+	for i, res := range results {
+		if len(res.Row) != len(headers) {
+			return nil, fmt.Errorf("scenario: sweep %q: point %d row has %d cell(s), want %d",
+				sw.Name, i, len(res.Row), len(headers))
+		}
+		rows[i] = res.Row
+		if res.NonEquilibrium {
+			cutOffPoints++
+		}
+	}
+
+	title := sw.Name
+	if title == "" {
+		title = fmt.Sprintf("sweep over %s", sw.Base.Metric.Family)
+	}
+	tb := &export.Table{Title: title, Headers: headers, Rows: rows}
+	if sw.Description != "" {
+		tb.Notes = append(tb.Notes, sw.Description)
+	}
+	axes := "seeds×n×α×γ"
+	if len(sw.ChurnRates) > 0 || len(sw.Repairs) > 0 {
+		axes += "×churn-rate×repair"
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (%s), rows in grid order", len(points), axes))
+	if cutOffPoints > 0 {
+		tb.Notes = append(tb.Notes, fmt.Sprintf("%d point(s): %s", cutOffPoints, nonEquilibriumNote))
+	}
+	return tb, nil
+}
+
 // Run executes every grid point and reduces the rows, in grid order,
 // into one table. parallelism bounds concurrent grid points (0 = all
 // cores, 1 = sequential); each point's internal replica fan-out gets
@@ -186,9 +302,8 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 	// whole width, many points on few cores run replicas sequentially).
 	workers, inner := splitBudget(parallelism, len(points), p.Parallelism)
 
-	rows := make([][]string, len(points))
+	results := make([]PointResult, len(points))
 	errs := make([]error, len(points))
-	cutOff := make([]bool, len(points))
 	var progressMu sync.Mutex
 	finished := 0
 	complete := forEachIndexCtx(ctx, len(points), workers, func(i int) {
@@ -196,13 +311,10 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 		if p.Quick {
 			spec.Quick = true
 		}
-		out, err := runDeclarative(spec, inner)
-		if err != nil {
-			errs[i] = err
+		results[i], errs[i] = RunPoint(spec, measures, inner)
+		if errs[i] != nil {
 			return
 		}
-		cutOff[i] = out.nonEquilibrium
-		rows[i], errs[i] = out.row(measures)
 		if progress != nil {
 			// Count inside the critical section so reported progress is
 			// monotone: increment-then-lock would let a slower worker
@@ -221,30 +333,7 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 			return nil, fmt.Errorf("scenario: sweep point %d: %w", i, err)
 		}
 	}
-	cutOffPoints := 0
-	for _, c := range cutOff {
-		if c {
-			cutOffPoints++
-		}
-	}
-
-	title := sw.Name
-	if title == "" {
-		title = fmt.Sprintf("sweep over %s", sw.Base.Metric.Family)
-	}
-	tb := &export.Table{Title: title, Headers: specHeaders(measures), Rows: rows}
-	if sw.Description != "" {
-		tb.Notes = append(tb.Notes, sw.Description)
-	}
-	axes := "seeds×n×α×γ"
-	if len(sw.ChurnRates) > 0 || len(sw.Repairs) > 0 {
-		axes += "×churn-rate×repair"
-	}
-	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (%s), rows in grid order", len(points), axes))
-	if cutOffPoints > 0 {
-		tb.Notes = append(tb.Notes, fmt.Sprintf("%d point(s): %s", cutOffPoints, nonEquilibriumNote))
-	}
-	return tb, nil
+	return sw.Assemble(results)
 }
 
 // ReadSweep decodes a Sweep from JSON, rejecting unknown fields.

@@ -3,27 +3,42 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"selfishnet/internal/cas"
 )
+
+// runNamespace is the cas.Store namespace of rendered single-spec
+// tables (the /v1/run response bodies), keyed by scenario.Spec.Hash.
+const runNamespace = "run"
 
 // resultCache is the content-addressed LRU of rendered response bodies.
 // Keys are canonical hashes (scenario.Spec.Hash / Sweep.Hash), values
 // are the exact bytes served to the first requester, so a hit is
 // byte-identical to the original response by construction.
 //
-// The cache is bounded by entry count; eviction is least-recently-used
-// (get refreshes recency). Two concurrent misses on the same key both
-// compute the result — the engine is deterministic, so they produce the
-// same bytes and the second put is a harmless overwrite; a singleflight
-// layer would save CPU but never changes responses.
+// The cache is bounded by entry count and (optionally) by total body
+// bytes; eviction is least-recently-used on either bound (get
+// refreshes recency). With a cas.Store attached, the LRU is a
+// read-through front: misses fall through to the store's "run"
+// namespace — so an eviction (or a restart) costs a disk read, not a
+// re-execution — and puts write through to it.
+//
+// Two concurrent misses on the same key both compute the result — the
+// engine is deterministic, so they produce the same bytes and the
+// second put is a harmless overwrite; a singleflight layer would save
+// CPU but never changes responses.
 type resultCache struct {
 	mu        sync.Mutex
 	capacity  int
+	maxBytes  int64
+	store     *cas.Store // optional read-through/write-through backing
 	order     *list.List // front = most recently used
 	entries   map[string]*list.Element
 	bytes     int64
 	hits      int64
 	misses    int64
 	evictions int64
+	diskHits  int64
 }
 
 type cacheEntry struct {
@@ -31,45 +46,78 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64, store *cas.Store) *resultCache {
 	return &resultCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
+		store:    store,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element, capacity),
 	}
 }
 
-// get returns the cached body for key. The returned slice is shared:
-// callers must not mutate it.
+// get returns the cached body for key, falling through to the backing
+// store (and re-installing the blob in the LRU) on a memory miss. The
+// returned slice is shared: callers must not mutate it.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		if body, ok, err := store.Get(runNamespace, key); err == nil && ok {
+			c.mu.Lock()
+			c.diskHits++
+			c.installLocked(key, body)
+			c.mu.Unlock()
+			return body, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
 // put stores body under key, evicting least-recently-used entries past
-// the capacity bound. Storing an existing key refreshes its body and
-// recency.
+// the entry and byte bounds, and writes through to the backing store.
+// Storing an existing key refreshes its body and recency.
 func (c *resultCache) put(key string, body []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.installLocked(key, body)
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		// Write-once under a content address: a duplicate put is a
+		// counted no-op inside the store.
+		_ = store.Put(runNamespace, key, body)
+	}
+}
+
+// installLocked inserts or refreshes an entry and applies both bounds.
+// A body larger than maxBytes on its own is evicted immediately — it
+// still serves this request (and the store keeps it); it just never
+// occupies the whole cache. Callers hold c.mu.
+func (c *resultCache) installLocked(key string, body []byte) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.bytes += int64(len(body)) - int64(len(e.body))
 		e.body = body
 		c.order.MoveToFront(el)
-		return
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
-	c.bytes += int64(len(body))
-	for c.capacity > 0 && c.order.Len() > c.capacity {
+	for c.order.Len() > 0 &&
+		((c.capacity > 0 && c.order.Len() > c.capacity) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.order.Back()
 		e := oldest.Value.(*cacheEntry)
 		c.order.Remove(oldest)
@@ -84,9 +132,11 @@ type cacheStats struct {
 	Entries   int64 `json:"cache_entries"`
 	Capacity  int64 `json:"cache_capacity"`
 	Bytes     int64 `json:"cache_bytes"`
+	MaxBytes  int64 `json:"cache_max_bytes"`
 	Hits      int64 `json:"cache_hits"`
 	Misses    int64 `json:"cache_misses"`
 	Evictions int64 `json:"cache_evictions"`
+	DiskHits  int64 `json:"cache_disk_hits"`
 }
 
 func (c *resultCache) stats() cacheStats {
@@ -96,8 +146,10 @@ func (c *resultCache) stats() cacheStats {
 		Entries:   int64(c.order.Len()),
 		Capacity:  int64(c.capacity),
 		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
 	}
 }

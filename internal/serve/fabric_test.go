@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"selfishnet/internal/cas"
+	"selfishnet/internal/fabric"
+)
+
+// TestCacheMaxBytesEviction pins the byte bound: bodies past MaxBytes
+// evict least-recently-used entries even when the entry count is far
+// below CacheEntries.
+func TestCacheMaxBytesEviction(t *testing.T) {
+	c := newResultCache(1000, 100, nil)
+	big := bytes.Repeat([]byte("x"), 60)
+	c.put("sha256:aaa", big)
+	c.put("sha256:bbb", big) // 120 bytes total: the first entry must go
+	if _, ok := c.get("sha256:aaa"); ok {
+		t.Error("oldest entry survived past the byte bound")
+	}
+	if _, ok := c.get("sha256:bbb"); !ok {
+		t.Error("newest entry evicted instead of the oldest")
+	}
+	st := c.stats()
+	if st.Bytes > 100 {
+		t.Errorf("cache_bytes = %d, exceeds MaxBytes 100", st.Bytes)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("cache_evictions = %d, want 1", st.Evictions)
+	}
+	if st.MaxBytes != 100 {
+		t.Errorf("cache_max_bytes = %d, want 100", st.MaxBytes)
+	}
+
+	// An entry larger than the whole bound is served but not retained.
+	c.put("sha256:ccc", bytes.Repeat([]byte("y"), 200))
+	if _, ok := c.get("sha256:ccc"); ok {
+		t.Error("oversized entry retained past the byte bound")
+	}
+	if st := c.stats(); st.Bytes > 100 {
+		t.Errorf("cache_bytes = %d after oversized put", st.Bytes)
+	}
+}
+
+// TestCacheMaxBytesEndToEnd drives the byte bound through the HTTP
+// surface: a tiny MaxBytes forces evictions that the entry bound
+// would never trigger.
+func TestCacheMaxBytesEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheEntries: 1000, CacheMaxBytes: 1})
+	for _, alpha := range []string{"1", "2"} {
+		body := `{"metric": {"family": "line", "positions": [0, 1, 2]}, "game": {"alpha": ` + alpha + `}}`
+		if resp, b := post(t, ts.URL+"/v1/run", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alpha %s: %d %s", alpha, resp.StatusCode, b)
+		}
+	}
+	m := s.Metrics()
+	if m["cache_bytes"] > 1 {
+		t.Errorf("cache_bytes = %d, exceeds CacheMaxBytes 1", m["cache_bytes"])
+	}
+	if m["cache_evictions"] == 0 {
+		t.Error("no evictions under a 1-byte bound")
+	}
+}
+
+// TestCacheReadsThroughStore: with a cas.Store attached, an evicted
+// (or never-cached-in-this-process) body is served from disk
+// byte-identically instead of re-executing — across a full server
+// restart.
+func TestCacheReadsThroughStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Config{Store: store})
+	resp1, body1 := post(t, ts1.URL+"/v1/run", runSpecBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d %s", resp1.StatusCode, body1)
+	}
+
+	// "Restart": a fresh server (cold LRU) over the store reopened
+	// from disk.
+	store2, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{Store: store2})
+	resp2, body2 := post(t, ts2.URL+"/v1/run", runSpecBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("run after restart: %d %s", resp2.StatusCode, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("store-served body differs from the original run")
+	}
+	if c := resp2.Header.Get("X-Cache"); c != "hit" {
+		t.Errorf("store read-through X-Cache = %q, want hit", c)
+	}
+	m := s2.Metrics()
+	if m["cache_disk_hits"] != 1 {
+		t.Errorf("cache_disk_hits = %d, want 1", m["cache_disk_hits"])
+	}
+	if m["runs_total"] != 0 {
+		t.Errorf("runs_total = %d after restart, want 0 (no re-execution)", m["runs_total"])
+	}
+	_ = s1
+}
+
+// newFabricServer builds a fabric-backed server plus n HTTP workers
+// polling it — the full distributed stack over loopback.
+func newFabricServer(t *testing.T, store *cas.Store, workers int) (*Server, string, *fabric.Coordinator, context.CancelFunc) {
+	t.Helper()
+	coord := fabric.NewCoordinator(fabric.Config{Store: store, Lease: 2 * time.Second})
+	s, ts := newTestServer(t, Config{Workers: 2, Store: store, Fabric: coord})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &fabric.Worker{
+				Client:      fabric.HTTPClient{Base: ts.URL},
+				Parallelism: 1,
+				Poll:        5 * time.Millisecond,
+			}
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() { cancel(); wg.Wait() })
+	return s, ts.URL, coord, cancel
+}
+
+// TestFabricBackedSweepMatchesInProcess runs the same sweep through a
+// fabric-backed server (HTTP workers) and a plain server: the result
+// endpoints must serve byte-identical tables.
+func TestFabricBackedSweepMatchesInProcess(t *testing.T) {
+	_, plainURL := func() (*Server, string) {
+		s, ts := newTestServer(t, Config{Workers: 1})
+		return s, ts.URL
+	}()
+	plainDoc := submitSweep(t, plainURL, sweepBody())
+	plainFinal := waitJob(t, plainURL, plainDoc.ID)
+	if plainFinal.State != JobDone {
+		t.Fatalf("plain job settled as %s (%s)", plainFinal.State, plainFinal.Error)
+	}
+
+	_, fabricURL, coord, _ := newFabricServer(t, nil, 3)
+	doc := submitSweep(t, fabricURL, sweepBody())
+	final := waitJob(t, fabricURL, doc.ID)
+	if final.State != JobDone {
+		t.Fatalf("fabric job settled as %s (%s)", final.State, final.Error)
+	}
+	if !bytes.Equal(final.Result, plainFinal.Result) {
+		t.Errorf("fabric result differs from in-process result:\n%s\nvs\n%s", final.Result, plainFinal.Result)
+	}
+	if st := coord.Stats(); st.PointsExecuted == 0 {
+		t.Error("fabric coordinator executed no points — sweep ran in-process?")
+	}
+}
+
+// TestFabricEndpointStatuses pins the wire contract: 410 for unknown
+// workers, 204 for the empty queue and accepted results, 400 for bad
+// submissions.
+func TestFabricEndpointStatuses(t *testing.T) {
+	_, url, _, _ := newFabricServer(t, nil, 0)
+
+	client := fabric.HTTPClient{Base: url}
+	info, err := client.Register("status-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Lease <= 0 {
+		t.Fatalf("registration returned %+v", info)
+	}
+	if err := client.Heartbeat(info.ID); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if err := client.Heartbeat("w-424242"); err != fabric.ErrUnknownWorker {
+		t.Errorf("unknown worker heartbeat: %v, want ErrUnknownWorker", err)
+	}
+	if _, err := client.Next("w-424242"); err != fabric.ErrUnknownWorker {
+		t.Errorf("unknown worker next: %v, want ErrUnknownWorker", err)
+	}
+	shard, err := client.Next(info.ID)
+	if err != nil || shard != nil {
+		t.Errorf("empty queue: shard %v err %v, want nil/nil", shard, err)
+	}
+	if err := client.Complete(info.ID, "fjob-1-shard-0", fabric.ShardResult{}); err == nil {
+		t.Error("completion of a never-issued shard accepted")
+	}
+	// Malformed body straight at the endpoint.
+	resp, body := post(t, url+"/v1/shards/x/result", "{not json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed result body: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestSweepServedFromStoreAcrossRestart is the serve-layer half of the
+// persistence criterion: a sweep completed before a restart is served
+// as an already-done job from the store blob — zero re-executions,
+// byte-identical result.
+func TestSweepServedFromStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url1, _, _ := newFabricServer(t, store, 2)
+	doc := submitSweep(t, url1, sweepBody())
+	final := waitJob(t, url1, doc.ID)
+	if final.State != JobDone {
+		t.Fatalf("job settled as %s (%s)", final.State, final.Error)
+	}
+
+	// Restart: new store handle from disk, new coordinator, no workers
+	// at all — if anything tried to execute, the job would hang.
+	store2, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2 := fabric.NewCoordinator(fabric.Config{Store: store2})
+	s2, ts2 := newTestServer(t, Config{Workers: 1, Store: store2, Fabric: coord2})
+	resp, body := post(t, ts2.URL+"/v1/sweep", sweepBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submission after restart: %d %s (want 200 served-from-store)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Job-Dedup") != "true" {
+		t.Error("store-served submission missing X-Job-Dedup header")
+	}
+	redone := waitJobDoc(t, ts2.URL, body)
+	if redone.State != JobDone {
+		t.Fatalf("restored job state %s", redone.State)
+	}
+	if !bytes.Equal(redone.Result, final.Result) {
+		t.Error("store-served sweep result differs from the original")
+	}
+	m := s2.Metrics()
+	if m["jobs_from_store"] != 1 {
+		t.Errorf("jobs_from_store = %d, want 1", m["jobs_from_store"])
+	}
+	if m["fabric_points_executed"] != 0 {
+		t.Errorf("fabric_points_executed = %d after restart, want 0", m["fabric_points_executed"])
+	}
+}
+
+// waitJobDoc decodes a submission response and waits for the job.
+func waitJobDoc(t *testing.T, baseURL string, submission []byte) JobDoc {
+	t.Helper()
+	var doc JobDoc
+	if err := json.Unmarshal(submission, &doc); err != nil {
+		t.Fatalf("decoding submission %s: %v", submission, err)
+	}
+	return waitJob(t, baseURL, doc.ID)
+}

@@ -6,13 +6,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"selfishnet/internal/cas"
+	"selfishnet/internal/export"
 	"selfishnet/internal/scenario"
 )
+
+// sweepNamespace is the cas.Store namespace of rendered sweep tables
+// (the /v1/jobs/{id}/result bodies), keyed by scenario.Sweep.Hash.
+const sweepNamespace = "sweep"
 
 // JobState is the lifecycle state of an async sweep job.
 type JobState string
@@ -81,10 +90,18 @@ var (
 // slot immediately (a buffered channel would keep cancelled jobs
 // occupying slots until a worker drained them, rejecting legitimate
 // submissions as queue-full).
+// sweepRunner executes one sweep to a table. The default runs the
+// scenario engine in-process; a fabric-backed server swaps in a runner
+// that submits to the coordinator instead. Both produce byte-identical
+// tables, so the choice is invisible to clients.
+type sweepRunner func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error)
+
 type jobManager struct {
 	pointParallelism int
 	queueDepth       int
 	maxJobs          int
+	runner           sweepRunner
+	store            *cas.Store // optional persistent sweep-result backing
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled on pending push and on close
@@ -103,6 +120,8 @@ type jobManager struct {
 	deduped   atomic.Int64
 	cancelled atomic.Int64
 	pruned    atomic.Int64
+	fromStore atomic.Int64
+	dropped   atomic.Int64 // state records rejected during restore
 }
 
 func newJobManager(workers, queueDepth, maxJobs, pointParallelism int) *jobManager {
@@ -113,6 +132,9 @@ func newJobManager(workers, queueDepth, maxJobs, pointParallelism int) *jobManag
 		jobs:             make(map[string]*job),
 		byHash:           make(map[string]string),
 		workers:          int64(workers),
+	}
+	m.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error) {
+		return sw.RunContext(ctx, scenario.Params{}, m.pointParallelism, progress)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for w := 0; w < workers; w++ {
@@ -159,6 +181,30 @@ func (m *jobManager) submit(sw scenario.Sweep, hash string) (*job, bool, error) 
 		m.mu.Unlock()
 		m.deduped.Add(1)
 		return j, true, nil
+	}
+	if m.store != nil {
+		// A sweep already rendered — in a previous process life, or by
+		// another node sharing the store — materializes as a done job
+		// straight from its blob: zero points re-execute.
+		if body, ok, err := m.store.Get(sweepNamespace, hash); err == nil && ok {
+			total := len(sw.Points())
+			m.nextID++
+			j := &job{doc: JobDoc{
+				ID:       fmt.Sprintf("job-%d", m.nextID),
+				Hash:     hash,
+				State:    JobDone,
+				Progress: JobProgress{Done: total, Total: total},
+				Result:   body,
+				Sweep:    sw,
+			}}
+			m.jobs[j.doc.ID] = j
+			m.order = append(m.order, j.doc.ID)
+			m.byHash[hash] = j.doc.ID
+			m.pruneLocked()
+			m.mu.Unlock()
+			m.fromStore.Add(1)
+			return j, true, nil
+		}
 	}
 	if len(m.pending) >= m.queueDepth {
 		m.mu.Unlock()
@@ -321,7 +367,7 @@ func (m *jobManager) runJob(j *job) {
 	m.busy.Add(1)
 	defer m.busy.Add(-1)
 
-	table, err := sw.RunContext(ctx, scenario.Params{}, m.pointParallelism, func(done, total int) {
+	table, err := m.runner(ctx, sw, func(done, total int) {
 		j.mu.Lock()
 		j.doc.Progress = JobProgress{Done: done, Total: total}
 		j.mu.Unlock()
@@ -344,7 +390,14 @@ func (m *jobManager) runJob(j *job) {
 		j.doc.State = JobDone
 		j.doc.Result = result
 		j.doc.Progress.Done = j.doc.Progress.Total
+		hash := j.doc.Hash
 		j.mu.Unlock()
+		if m.store != nil {
+			// Write-through: the rendered sweep table becomes a durable
+			// blob, so the same grid never re-executes — not even after
+			// a restart.
+			_ = m.store.Put(sweepNamespace, hash, result)
+		}
 	case errors.Is(err, context.Canceled):
 		j.doc.State = JobCancelled
 		j.doc.Error = "cancelled while running"
@@ -404,12 +457,50 @@ func (m *jobManager) close(ctx context.Context) error {
 	return err
 }
 
+// validatePersisted rejects state records the rest of the server
+// cannot safely host: ids outside the job-N space (they are route
+// keys and the nextID guard), unknown states (the state machine would
+// wedge), missing hashes (dedup keys), and done jobs without their
+// result bytes. A non-empty return is the drop reason.
+func validatePersisted(p persistedJob) string {
+	if jobIDSeq(p.ID) <= 0 {
+		return fmt.Sprintf("bad id %q", p.ID)
+	}
+	switch p.State {
+	case JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+	default:
+		return fmt.Sprintf("unknown state %q", p.State)
+	}
+	if p.Hash == "" {
+		return "missing hash"
+	}
+	if p.State == JobDone && len(p.Result) == 0 {
+		return "done without a result"
+	}
+	return ""
+}
+
+// jobIDSeq extracts N from a "job-N" id, 0 when the id is malformed.
+func jobIDSeq(id string) int64 {
+	seq, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(seq, 10, 64)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
 // jobStats summarizes the job universe for /healthz and /metrics.
 type jobStats struct {
 	Submitted  int64 `json:"jobs_submitted"`
 	Deduped    int64 `json:"jobs_deduped"`
 	Cancelled  int64 `json:"jobs_cancelled"`
 	Pruned     int64 `json:"jobs_pruned"`
+	FromStore  int64 `json:"jobs_from_store"`
+	Dropped    int64 `json:"state_records_dropped"`
 	Queued     int64 `json:"jobs_queued"`
 	Running    int64 `json:"jobs_running"`
 	Done       int64 `json:"jobs_done"`
@@ -425,6 +516,8 @@ func (m *jobManager) stats() jobStats {
 		Submitted: m.submitted.Load(),
 		Deduped:   m.deduped.Load(),
 		Pruned:    m.pruned.Load(),
+		FromStore: m.fromStore.Load(),
+		Dropped:   m.dropped.Load(),
 		Workers:   m.workers,
 		Busy:      m.busy.Load(),
 		QueueCap:  int64(m.queueDepth),
@@ -515,6 +608,12 @@ func (m *jobManager) saveState(path string) error {
 // cancelled) are restored verbatim — a done job's result stays
 // servable and its hash keeps dedup — while jobs persisted as queued
 // or running (an interrupted drain) are re-enqueued from scratch.
+//
+// Restore is tolerant: the state file is a cache of job history, not
+// the source of truth, so a corrupted or truncated file (a crash
+// mid-write, a bad disk) must never stop the server from booting.
+// Undecodable files and invalid records are logged and dropped; every
+// well-formed record around them is kept.
 func (m *jobManager) loadState(path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -525,12 +624,19 @@ func (m *jobManager) loadState(path string) error {
 	}
 	var st persistedState
 	if err := json.Unmarshal(b, &st); err != nil {
-		return fmt.Errorf("serve: decoding job state %s: %w", path, err)
+		log.Printf("serve: job state %s is corrupt (%v); starting with no restored jobs", path, err)
+		m.dropped.Add(1)
+		return nil
 	}
 	m.mu.Lock()
 	m.nextID = st.NextID
 	m.mu.Unlock()
-	for _, p := range st.Jobs {
+	for i, p := range st.Jobs {
+		if reason := validatePersisted(p); reason != "" {
+			log.Printf("serve: job state %s: dropping record %d (%s)", path, i, reason)
+			m.dropped.Add(1)
+			continue
+		}
 		doc := p.toDoc()
 		j := &job{doc: doc}
 		enqueue := false
@@ -549,6 +655,12 @@ func (m *jobManager) loadState(path string) error {
 			j.doc.State = JobFailed
 			j.doc.Error = "not re-enqueued after restart: queue full"
 			enqueue = false
+		}
+		if seq := jobIDSeq(doc.ID); seq > m.nextID {
+			// Guard against a state file whose next_id lost sync with
+			// its records (partial corruption): never mint an id that
+			// collides with a restored job.
+			m.nextID = seq
 		}
 		m.jobs[doc.ID] = j
 		m.order = append(m.order, doc.ID)

@@ -11,7 +11,9 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"selfishnet/internal/cas"
 	"selfishnet/internal/export"
+	"selfishnet/internal/fabric"
 	"selfishnet/internal/scenario"
 )
 
@@ -35,6 +37,18 @@ type Config struct {
 	// Values ≤ 0 select the default of 256; there is no unbounded
 	// mode — pass a large bound if eviction should be effectively off.
 	CacheEntries int
+	// CacheMaxBytes additionally bounds the cache by total body bytes
+	// (0 = entry bound only). Eviction is LRU on whichever bound trips.
+	CacheMaxBytes int64
+	// Store, when non-nil, backs the result cache and the sweep jobs
+	// with a persistent content-addressed store: cache misses read
+	// through to disk, completed results write through, and re-submitted
+	// sweeps are served from blobs across restarts.
+	Store *cas.Store
+	// Fabric, when non-nil, executes sweep jobs through the distributed
+	// coordinator instead of the in-process engine, and mounts the
+	// fabric worker endpoints (/v1/workers/*, /v1/shards/*).
+	Fabric *fabric.Coordinator
 	// MaxJobs bounds the job store: once exceeded, the oldest terminal
 	// jobs (done, failed, cancelled) are pruned — their ids 404 and
 	// their hashes no longer dedup. Live jobs are never pruned. Values
@@ -82,8 +96,21 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
+		cache: newResultCache(cfg.CacheEntries, cfg.CacheMaxBytes, cfg.Store),
 		jobs:  newJobManager(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cfg.PointParallelism),
+	}
+	s.jobs.store = cfg.Store
+	if cfg.Fabric != nil {
+		s.jobs.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error) {
+			j, err := cfg.Fabric.Submit(sw, scenario.Params{}, 0, progress)
+			if err != nil {
+				return nil, err
+			}
+			// Wait cancels the fabric job on ctx cancellation and
+			// returns context.Canceled, so the job manager's existing
+			// cancel/drain handling applies unchanged.
+			return j.Wait(ctx)
+		}
 	}
 	if cfg.StatePath != "" {
 		if err := s.jobs.loadState(cfg.StatePath); err != nil {
@@ -104,6 +131,12 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Fabric != nil {
+		mux.HandleFunc("POST /v1/workers/register", s.handleWorkerRegister)
+		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+		mux.HandleFunc("GET /v1/shards/next", s.handleShardNext)
+		mux.HandleFunc("POST /v1/shards/{id}/result", s.handleShardResult)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -416,6 +449,65 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeDoc(w, http.StatusOK, docs)
 }
 
+// handleWorkerRegister admits a fabric worker and returns its id and
+// lease. An empty body registers an unnamed worker.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req fabric.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info := s.cfg.Fabric.Register(req.Name)
+	writeDoc(w, http.StatusOK, fabric.RegisterResponse{
+		WorkerID:    info.ID,
+		LeaseMillis: info.Lease.Milliseconds(),
+	})
+}
+
+// handleWorkerHeartbeat extends a worker's lease; 410 Gone tells a
+// forgotten worker to re-register.
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.cfg.Fabric.Heartbeat(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShardNext hands the polling worker the next shard: 200 with
+// the shard JSON, 204 when the queue is empty, 410 when the worker is
+// unknown.
+func (s *Server) handleShardNext(w http.ResponseWriter, r *http.Request) {
+	shard, err := s.cfg.Fabric.NextShard(r.URL.Query().Get("worker"))
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	if shard == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeDoc(w, http.StatusOK, shard)
+}
+
+// handleShardResult accepts a worker's shard results. Duplicate
+// completions are 204 no-ops (idempotent by design); malformed or
+// unknown submissions are 400.
+func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
+	var req fabric.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	err := s.cfg.Fabric.CompleteShard(req.WorkerID, r.PathValue("id"),
+		fabric.ShardResult{Results: req.Results, Error: req.Error})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // healthDoc is the /healthz body.
 type healthDoc struct {
 	Status string   `json:"status"`
@@ -427,50 +519,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsDoc is the flat expvar-style counter set served by /metrics.
+// The fabric and store sections only appear when configured (nil
+// embedded pointers marshal as absent fields).
 type metricsDoc struct {
 	cacheStats
 	jobStats
+	*fabric.Counters
+	*cas.Stats
 	RunsTotal int64 `json:"runs_total"`
 	RunErrors int64 `json:"run_errors"`
 }
 
 // Metrics returns the current counter snapshot (also served as JSON by
 // GET /metrics): cache hits/misses/evictions, synchronous runs, job
-// counts by state and worker utilization. Keys match the /metrics JSON
-// field names.
+// counts by state, worker utilization, and — when configured — the
+// fabric and content store counters. Keys match the /metrics JSON
+// field names; the doc is flat, so the round-trip below cannot lose a
+// counter and new counters appear here automatically.
 func (s *Server) Metrics() map[string]int64 {
-	c, j := s.cache.stats(), s.jobs.stats()
-	return map[string]int64{
-		"cache_entries":   c.Entries,
-		"cache_capacity":  c.Capacity,
-		"cache_bytes":     c.Bytes,
-		"cache_hits":      c.Hits,
-		"cache_misses":    c.Misses,
-		"cache_evictions": c.Evictions,
-		"jobs_submitted":  j.Submitted,
-		"jobs_deduped":    j.Deduped,
-		"jobs_cancelled":  j.Cancelled,
-		"jobs_pruned":     j.Pruned,
-		"jobs_queued":     j.Queued,
-		"jobs_running":    j.Running,
-		"jobs_done":       j.Done,
-		"jobs_failed":     j.Failed,
-		"workers_total":   j.Workers,
-		"workers_busy":    j.Busy,
-		"queue_depth":     j.QueueDepth,
-		"queue_capacity":  j.QueueCap,
-		"runs_total":      s.runsTotal.Load(),
-		"run_errors":      s.runErrors.Load(),
+	blob, err := json.Marshal(s.metricsDoc())
+	if err != nil {
+		return nil
 	}
+	out := make(map[string]int64)
+	_ = json.Unmarshal(blob, &out)
+	return out
 }
 
 func (s *Server) metricsDoc() metricsDoc {
-	return metricsDoc{
+	doc := metricsDoc{
 		cacheStats: s.cache.stats(),
 		jobStats:   s.jobs.stats(),
 		RunsTotal:  s.runsTotal.Load(),
 		RunErrors:  s.runErrors.Load(),
 	}
+	if s.cfg.Fabric != nil {
+		st := s.cfg.Fabric.Stats()
+		doc.Counters = &st
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		doc.Stats = &st
+	}
+	return doc
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

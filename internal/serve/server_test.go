@@ -10,7 +10,6 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -630,27 +629,105 @@ func TestShutdownRequeuesQueuedJobs(t *testing.T) {
 	_ = s2
 }
 
-// TestNewLoadStateFailureDoesNotLeak pins the error path of New: a
-// corrupt state file fails construction and the already-started worker
-// goroutines are drained rather than leaked.
-func TestNewLoadStateFailureDoesNotLeak(t *testing.T) {
-	state := filepath.Join(t.TempDir(), "corrupt.json")
-	if err := os.WriteFile(state, []byte("{not json"), 0o644); err != nil {
+// TestNewToleratesCorruptState pins the restore policy: the state
+// file is a cache, so a corrupt or truncated one must not stop the
+// server from booting — it starts empty, logs, and counts the drop.
+func TestNewToleratesCorruptState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"garbage", "{not json"},
+		{"truncated", `{"next_id": 3, "jobs": [{"id": "job-1", "ha`},
+		{"wrong-shape", `[1, 2, 3]`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			state := filepath.Join(t.TempDir(), "corrupt.json")
+			if err := os.WriteFile(state, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(Config{Workers: 1, StatePath: state})
+			if err != nil {
+				t.Fatalf("New refused to boot over a corrupt state file: %v", err)
+			}
+			defer s.Close(context.Background())
+			if n := len(s.jobs.list()); n != 0 {
+				t.Errorf("restored %d job(s) from garbage", n)
+			}
+			if got := s.Metrics()["state_records_dropped"]; got == 0 {
+				t.Error("dropped-record counter not incremented")
+			}
+		})
+	}
+}
+
+// TestNewDropsBadStateRecords: invalid records inside a well-formed
+// state file are dropped individually; good records around them are
+// restored and keep serving their results.
+func TestNewDropsBadStateRecords(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "jobs.json")
+
+	// Build a real state file with one done job, then splice bad
+	// records around the good one.
+	s1, ts1 := newTestServer(t, Config{Workers: 1, StatePath: state})
+	doc := submitSweep(t, ts1.URL, sweepBody())
+	done := waitJob(t, ts1.URL, doc.ID)
+	if done.State != JobDone {
+		t.Fatalf("seed job settled as %s (%s)", done.State, done.Error)
+	}
+	ts1.Close()
+	if err := s1.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	before := runtime.NumGoroutine()
-	for i := 0; i < 5; i++ {
-		if _, err := New(Config{Workers: 4, StatePath: state}); err == nil {
-			t.Fatal("New with corrupt state should fail")
-		}
+
+	blob, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Give drained workers a moment to exit before counting.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	var st persistedState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
 	}
-	if after := runtime.NumGoroutine(); after > before+2 {
-		t.Errorf("goroutines grew from %d to %d across failed New calls", before, after)
+	good := st.Jobs[0]
+	st.Jobs = []persistedJob{
+		{ID: "not-a-job-id", Hash: good.Hash, State: JobDone, Result: good.Result, Sweep: good.Sweep},
+		{ID: "job-7", Hash: good.Hash, State: "exploded", Sweep: good.Sweep},
+		good,
+		{ID: "job-9", Hash: "", State: JobQueued, Sweep: good.Sweep},
+		{ID: "job-11", Hash: good.Hash, State: JobDone, Sweep: good.Sweep}, // done without result
+	}
+	blob, err = json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(state, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 1, StatePath: state})
+	docs := s2.jobs.list()
+	if len(docs) != 1 || docs[0].ID != good.ID {
+		t.Fatalf("restored %v, want exactly the one good record %s", docs, good.ID)
+	}
+	if got := s2.Metrics()["state_records_dropped"]; got != 4 {
+		t.Errorf("state_records_dropped = %d, want 4", got)
+	}
+	// The good job still serves its exact result bytes.
+	resp, body := get(t, ts2.URL+"/v1/jobs/"+good.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after restore: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, good.Result) {
+		t.Error("restored result bytes differ")
+	}
+	// New submissions must mint ids that do not collide with restored
+	// ones, even though the state file's next_id co-existed with junk.
+	doc2 := submitSweep(t, ts2.URL, `{
+		"base": {"quick": true, "metric": {"family": "uniform", "n": 6}, "game": {"alpha": 1}},
+		"seeds": [7, 8]
+	}`)
+	if doc2.ID == good.ID {
+		t.Fatalf("new job reused restored id %s", doc2.ID)
 	}
 }
 
