@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -313,6 +314,7 @@ func runSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var out outputFlags
 	out.register(fs, 0)
+	keepGoing := fs.Bool("keep-going", false, "do not abort on point failures; render failed rows as placeholders and report them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -337,6 +339,27 @@ func runSweep(args []string) error {
 		}
 	}
 	return out.profiled(func() error {
+		if *keepGoing {
+			// Keep-going: point failures become placeholder rows plus a
+			// structured report instead of aborting the whole grid. The
+			// table (healthy rows byte-identical to a clean run) still
+			// goes to stdout; the failure report and the non-zero exit
+			// make the partial-ness impossible to miss in scripts.
+			tb, failed, err := sw.RunPartialContext(context.Background(), scenario.Params{Quick: out.quick}, out.par, nil)
+			if err != nil {
+				return err
+			}
+			if werr := out.write(tb, os.Stdout); werr != nil {
+				return werr
+			}
+			if len(failed) == 0 {
+				return nil
+			}
+			for _, f := range failed {
+				fmt.Fprintf(os.Stderr, "topogame sweep: point %d failed: %s\n", f.Index, f.Error)
+			}
+			return fmt.Errorf("sweep: %d of %d point(s) failed; their rows read %q", len(failed), len(sw.Points()), scenario.FailedCell)
+		}
 		tb, err := sw.Run(scenario.Params{Quick: out.quick}, out.par)
 		if err != nil {
 			return err
@@ -354,7 +377,9 @@ commands:
   spec [flags] <file|->    run a declarative Spec JSON (see -emit)
   spec -emit <id>          print a catalog entry as Spec JSON
   sweep [flags] <file|->   run a Sweep JSON grid (α × n × seed × γ ×
-                           churn-rate × repair)
+                           churn-rate × repair); -keep-going renders
+                           failed points as placeholder rows instead
+                           of aborting
   churn [flags]            run a churn survival experiment (equilibrium
                            under join/leave churn; -n -alpha -rate
                            -duration -repair -metric)

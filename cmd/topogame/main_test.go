@@ -299,3 +299,17 @@ func TestTopogameSweepSmoke(t *testing.T) {
 		t.Fatalf("smoke grid should have 2 points, got %d", len(doc.Rows))
 	}
 }
+
+// TestTopogameSweepKeepGoing: with no failing points -keep-going is a
+// no-op — byte-identical output to a plain sweep and a clean exit.
+func TestTopogameSweepKeepGoing(t *testing.T) {
+	plain := captureStdout(t, func() error {
+		return run([]string{"sweep", "-quick", "-json", "testdata/sweep_smoke.json"})
+	})
+	kept := captureStdout(t, func() error {
+		return run([]string{"sweep", "-keep-going", "-quick", "-json", "testdata/sweep_smoke.json"})
+	})
+	if !bytes.Equal(plain, kept) {
+		t.Fatalf("sweep -keep-going output differs from a plain sweep:\n%s\nvs\n%s", plain, kept)
+	}
+}

@@ -17,8 +17,10 @@
 // /v1/workers and /v1/shards endpoints. -cas DIR mounts a persistent
 // content-addressed result store (grid points and sweep tables survive
 // restarts; nothing is computed twice), -cache-bytes adds a byte bound
-// to the in-memory result cache, and -fabric-lease / -shard-points
-// tune worker liveness and shard granularity.
+// to the in-memory result cache, and -fabric-lease / -shard-points /
+// -fabric-retry-budget tune worker liveness, shard granularity and the
+// poison-point quarantine threshold. -max-body-bytes bounds every
+// request body (oversized POSTs get 413).
 //
 //	topogamed -addr :8080 -fabric -fabric-workers 2 -cas /var/tmp/topocas
 //
@@ -77,6 +79,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	fabricWorkers := fs.Int("fabric-workers", 0, "in-process fabric workers to start (requires -fabric)")
 	fabricLease := fs.Duration("fabric-lease", 10*time.Second, "fabric worker liveness lease")
 	shardPoints := fs.Int("shard-points", 8, "target grid points per fabric shard")
+	retryBudget := fs.Int("fabric-retry-budget", 3, "failed attempts per grid point before quarantine")
+	maxBodyBytes := fs.Int64("max-body-bytes", 1<<20, "max request body size (413 beyond it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +106,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			Store:       store,
 			Lease:       *fabricLease,
 			ShardPoints: *shardPoints,
+			RetryBudget: *retryBudget,
 		})
 	}
 
@@ -116,6 +121,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		StatePath:        *state,
 		Store:            store,
 		Fabric:           coord,
+		MaxBodyBytes:     *maxBodyBytes,
 	})
 	if err != nil {
 		return err
@@ -147,7 +153,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout caps slow-header (slowloris) connections;
+	// IdleTimeout reclaims abandoned keep-alives. Body reads stay
+	// unbounded here because long-running sweep polls are legitimate —
+	// bodies are bounded by size (MaxBodyBytes) instead.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("topogamed: listening on %s (workers %d, cache %d entries)", ln.Addr(), *workers, *cache)
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -44,6 +44,7 @@ func run(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "worker name in coordinator logs (default: hostname)")
 	par := fs.Int("par", 0, "engine parallelism per grid point (0 = all cores)")
 	poll := fs.Duration("poll", 50*time.Millisecond, "re-poll interval when the shard queue is empty")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout against the coordinator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +60,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	w := &fabric.Worker{
-		Client:      fabric.HTTPClient{Base: *coordinator},
+		Client:      &fabric.HTTPClient{Base: *coordinator, Timeout: *timeout},
 		Name:        *name,
 		Parallelism: *par,
 		Poll:        *poll,

@@ -20,9 +20,20 @@
 // the index (a crash between the two writes), and drops index entries
 // whose blob has vanished. A store directory can therefore be copied,
 // restarted into, or rebuilt from blobs alone.
+//
+// Corruption is detected, not trusted: the index records a checksum of
+// the blob bytes at write time (keys themselves address the *spec* that
+// produced a blob, not the blob's own content, so the key can't verify
+// it), and Get re-hashes every blob it reads against that record. A
+// mismatch — a torn write that survived the rename, bit rot,
+// tampering — quarantines the blob under corrupt/ and reports a miss,
+// so callers regenerate the content instead of propagating garbage.
+// The cas_quarantined counter tracks these events.
 package cas
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +64,11 @@ type Entry struct {
 	Hash      string `json:"hash"`
 	Size      int64  `json:"size"`
 	Owner     string `json:"owner,omitempty"`
+	// Sum is the content address of the blob bytes themselves, recorded
+	// when the blob was written (the key's hash addresses the spec that
+	// produced the blob, so it cannot verify the blob). Get re-hashes
+	// reads against it.
+	Sum string `json:"sum,omitempty"`
 }
 
 // indexDoc is the on-disk index form.
@@ -62,12 +78,13 @@ type indexDoc struct {
 
 // Stats is the counter snapshot surfaced through /metrics.
 type Stats struct {
-	Entries int64 `json:"cas_entries"`
-	Bytes   int64 `json:"cas_bytes"`
-	Puts    int64 `json:"cas_puts"`
-	DupPuts int64 `json:"cas_dup_puts"`
-	Hits    int64 `json:"cas_hits"`
-	Misses  int64 `json:"cas_misses"`
+	Entries     int64 `json:"cas_entries"`
+	Bytes       int64 `json:"cas_bytes"`
+	Puts        int64 `json:"cas_puts"`
+	DupPuts     int64 `json:"cas_dup_puts"`
+	Hits        int64 `json:"cas_hits"`
+	Misses      int64 `json:"cas_misses"`
+	Quarantined int64 `json:"cas_quarantined"`
 }
 
 // Store is a disk-backed content-addressed blob store. All methods are
@@ -78,8 +95,12 @@ type Store struct {
 	ring    *Ring
 	entries map[string]Entry // key() → entry
 	bytes   int64
+	// putFault, when non-nil, rewrites the bytes Put actually writes —
+	// the fault-injection seam chaos tests use to simulate torn writes
+	// and bit flips at the storage layer. Production code leaves it nil.
+	putFault func(ns, hash string, blob []byte) []byte
 
-	puts, dupPuts, hits, misses int64
+	puts, dupPuts, hits, misses, quarantined int64
 }
 
 func key(ns, hash string) string { return ns + "/" + hash }
@@ -109,6 +130,14 @@ func Open(dir string) (*Store, error) {
 	for _, sub := range []string{"blobs", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("cas: creating %s: %w", sub, err)
+		}
+	}
+	// Stale temp files are crash debris — a tmp blob or index that died
+	// before its rename. They are invisible to the store (never adopted
+	// as blobs) but would accumulate forever; clear them on open.
+	if ents, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, de := range ents {
+			_ = os.Remove(filepath.Join(dir, "tmp", de.Name()))
 		}
 	}
 	if b, err := os.ReadFile(filepath.Join(dir, indexFile)); err == nil {
@@ -162,7 +191,11 @@ func (s *Store) reconcile() error {
 		}
 		onDisk[key(ns, hash)] = info.Size()
 		if _, ok := s.entries[key(ns, hash)]; !ok {
-			s.entries[key(ns, hash)] = Entry{Namespace: ns, Hash: hash, Size: info.Size(), Owner: s.ownerOf(key(ns, hash))}
+			// An adopted blob has no write-time checksum record; hash
+			// what's on disk so later corruption is still caught (the
+			// bytes as found are the best available statement of
+			// intent).
+			s.entries[key(ns, hash)] = Entry{Namespace: ns, Hash: hash, Size: info.Size(), Owner: s.ownerOf(key(ns, hash)), Sum: sumOfFile(path)}
 		}
 		return nil
 	})
@@ -177,10 +210,25 @@ func (s *Store) reconcile() error {
 			continue
 		}
 		e.Size = size
+		if e.Sum == "" {
+			// Index written before checksums existed: backfill from
+			// the blob so verification covers it from here on.
+			e.Sum = sumOfFile(s.blobPath(e.Namespace, e.Hash))
+		}
 		s.entries[k] = e
 		s.bytes += size
 	}
 	return nil
+}
+
+// sumOfFile hashes the blob bytes on disk; "" on a read error, which
+// leaves the entry unverified rather than failing Open.
+func sumOfFile(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return HashOf(b)
 }
 
 // SetRing installs the fleet placement ring: subsequent Puts (and the
@@ -227,6 +275,15 @@ func (s *Store) Put(ns, hash string, blob []byte) error {
 		s.dupPuts++
 		return nil
 	}
+	// The checksum records the caller's intent: it is computed before
+	// the fault hook rewrites the bytes, so an injected torn write or
+	// bit flip lands on disk with a mismatched record — exactly the
+	// state a real torn write leaves — and Get's verification catches
+	// it.
+	sum := HashOf(blob)
+	if s.putFault != nil {
+		blob = s.putFault(ns, hash, blob)
+	}
 	path := s.blobPath(ns, hash)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("cas: blob dir: %w", err)
@@ -250,21 +307,44 @@ func (s *Store) Put(ns, hash string, blob []byte) error {
 		return fmt.Errorf("cas: writing blob %s: %w", key(ns, hash), err)
 	}
 	syncDir(filepath.Dir(path))
-	e := Entry{Namespace: ns, Hash: hash, Size: int64(len(blob)), Owner: s.ownerOf(key(ns, hash))}
+	e := Entry{Namespace: ns, Hash: hash, Size: int64(len(blob)), Owner: s.ownerOf(key(ns, hash)), Sum: sum}
 	s.entries[key(ns, hash)] = e
 	s.bytes += e.Size
 	s.puts++
 	return s.writeIndexLocked()
 }
 
+// HashOf returns the canonical content address of blob — the checksum
+// Put records in the index and Get verifies reads against.
+func HashOf(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// SetPutFault installs (or, with nil, clears) the write fault-injection
+// hook: every subsequent Put writes f's return value instead of the
+// original bytes. It exists so chaos tests can simulate torn writes
+// (truncation before the rename) and bit flips without reaching around
+// the store; Get's content verification is what turns those corrupted
+// blobs back into misses.
+func (s *Store) SetPutFault(f func(ns, hash string, blob []byte) []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putFault = f
+}
+
 // Get returns the blob stored under (ns, hash). The bool reports
-// presence; disk errors on an indexed blob surface as errors.
+// presence; disk errors on an indexed blob surface as errors. Blob
+// bytes are re-hashed against the checksum recorded at write time on
+// every read: a mismatch — torn write, bit rot, external tampering —
+// quarantines the blob under corrupt/ and reports a miss, so the
+// caller re-executes the work instead of trusting corrupted state.
 func (s *Store) Get(ns, hash string) ([]byte, bool, error) {
 	if err := validate(ns, hash); err != nil {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	_, ok := s.entries[key(ns, hash)]
+	e, ok := s.entries[key(ns, hash)]
 	if !ok {
 		s.misses++
 		s.mu.Unlock()
@@ -276,10 +356,39 @@ func (s *Store) Get(ns, hash string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("cas: reading blob %s: %w", key(ns, hash), err)
 	}
+	if e.Sum != "" && HashOf(b) != e.Sum {
+		s.quarantine(ns, hash, path)
+		return nil, false, nil
+	}
 	s.mu.Lock()
 	s.hits++
 	s.mu.Unlock()
 	return b, true, nil
+}
+
+// quarantine moves a corrupt blob out of the tree (root/corrupt/, kept
+// for post-mortems), drops its index entry, and counts the event. The
+// key becomes a miss, so content under it can be regenerated and
+// stored again.
+func (s *Store) quarantine(ns, hash, path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key(ns, hash)]
+	if !ok {
+		// A concurrent Get already quarantined it.
+		return
+	}
+	dst := filepath.Join(s.root, "corrupt", ns+"-"+strings.TrimPrefix(hash, "sha256:"))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil || os.Rename(path, dst) != nil {
+		// Rename failed (crossed filesystems, permissions): removal
+		// still restores the miss invariant, just without the corpse.
+		_ = os.Remove(path)
+	}
+	delete(s.entries, key(ns, hash))
+	s.bytes -= e.Size
+	s.quarantined++
+	s.misses++
+	_ = s.writeIndexLocked()
 }
 
 // Has reports whether (ns, hash) is stored, without touching counters.
@@ -316,12 +425,13 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Entries: int64(len(s.entries)),
-		Bytes:   s.bytes,
-		Puts:    s.puts,
-		DupPuts: s.dupPuts,
-		Hits:    s.hits,
-		Misses:  s.misses,
+		Entries:     int64(len(s.entries)),
+		Bytes:       s.bytes,
+		Puts:        s.puts,
+		DupPuts:     s.dupPuts,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Quarantined: s.quarantined,
 	}
 }
 

@@ -11,9 +11,10 @@ import (
 	"testing"
 )
 
-// h derives a syntactically valid content hash from a label (the store
-// never verifies blob bytes against the hash — the scenario layer owns
-// that contract — so tests can use arbitrary labels).
+// h derives a syntactically valid content hash from a label. Keys
+// address the spec that produced a blob, not the blob's bytes — the
+// store verifies reads against the checksum recorded at write time,
+// never against the key — so tests can use arbitrary labels.
 func h(label string) string {
 	sum := sha256.Sum256([]byte(label))
 	return fmt.Sprintf("sha256:%x", sum)
@@ -182,6 +183,158 @@ func TestOpenSurvivesCorruptIndex(t *testing.T) {
 	got, ok, err := s2.Get("point", h("a"))
 	if err != nil || !ok || string(got) != "survives" {
 		t.Fatalf("blob lost behind corrupt index: %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// blobFile is the on-disk path Put renames a blob into, mirrored here
+// so tests can corrupt state behind the store's back.
+func blobFile(dir, ns, hash string) string {
+	hex := strings.TrimPrefix(hash, "sha256:")
+	return filepath.Join(dir, "blobs", ns, hex[:2], hex)
+}
+
+// TestGetQuarantinesCorruptBlob: bit rot (or tampering) under an
+// indexed key must read as a miss, move the corpse to corrupt/, and
+// leave the key writable again so the content can be regenerated.
+func TestGetQuarantinesCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("intended content")
+	if err := s.Put("point", h("victim"), blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blobFile(dir, "point", h("victim")), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("point", h("victim"))
+	if err != nil || ok {
+		t.Fatalf("corrupt blob served: %q ok=%v err=%v", got, ok, err)
+	}
+	corpse := filepath.Join(dir, "corrupt", "point-"+strings.TrimPrefix(h("victim"), "sha256:"))
+	if b, err := os.ReadFile(corpse); err != nil || string(b) != "garbage" {
+		t.Fatalf("corpse not preserved under corrupt/: %q err=%v", b, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after quarantine = %+v", st)
+	}
+	// The key is a plain miss now: regenerating the content works.
+	if err := s.Put("point", h("victim"), blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = s.Get("point", h("victim"))
+	if err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("regenerated blob: %q ok=%v err=%v", got, ok, err)
+	}
+	// The quarantine was persisted: a reopened store agrees.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s2.Get("point", h("victim")); !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("reopened store lost regenerated blob: %q ok=%v", got, ok)
+	}
+}
+
+// TestPutFaultTornWrite drives the chaos seam: a torn write (truncation
+// that survives the rename) lands on disk with a mismatched checksum
+// record, so the first read quarantines it instead of serving it.
+func TestPutFaultTornWrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("full content that the writer intended")
+	s.SetPutFault(func(ns, hash string, b []byte) []byte { return b[:len(b)/2] })
+	if err := s.Put("point", h("torn"), blob); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPutFault(nil)
+	if _, ok, err := s.Get("point", h("torn")); ok || err != nil {
+		t.Fatalf("torn blob served: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("stats = %+v, want 1 quarantine", st)
+	}
+	// The healthy rewrite round-trips.
+	if err := s.Put("point", h("torn"), blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Get("point", h("torn")); err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("rewrite: %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// TestOpenCrashRecovery simulates a crash between the blob rename and
+// the index fsync, with temp debris left behind: the unindexed blob is
+// adopted (with a checksum, so it stays verified), the index entry
+// whose blob never landed is dropped, and stale tmp files are cleared.
+func TestOpenCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("point", h("survivor"), []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	// Index ahead of blobs: an indexed entry whose blob vanished.
+	if err := s.Put("point", h("vanished"), []byte("vanished")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(blobFile(dir, "point", h("vanished"))); err != nil {
+		t.Fatal(err)
+	}
+	// Blobs ahead of index: a blob that landed but the index rewrite
+	// never did.
+	orphanPath := blobFile(dir, "point", h("orphan"))
+	if err := os.MkdirAll(filepath.Dir(orphanPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphanPath, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Temp debris from the crashed writes.
+	for _, name := range []string{"blob-crashed", "index-crashed"} {
+		if err := os.WriteFile(filepath.Join(dir, "tmp", name), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s2.Get("point", h("survivor")); err != nil || !ok || string(got) != "survivor" {
+		t.Fatalf("survivor: %q ok=%v err=%v", got, ok, err)
+	}
+	if got, ok, err := s2.Get("point", h("orphan")); err != nil || !ok || string(got) != "orphan" {
+		t.Fatalf("orphan not adopted: %q ok=%v err=%v", got, ok, err)
+	}
+	if s2.Has("point", h("vanished")) {
+		t.Error("dangling index entry survived reconciliation")
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2", s2.Len())
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("tmp debris not cleared: %d files remain", len(ents))
+	}
+	// Adopted blobs are covered by verification: corrupt the orphan and
+	// the next read quarantines it.
+	if err := os.WriteFile(orphanPath, []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get("point", h("orphan")); ok || err != nil {
+		t.Fatalf("rotted adopted blob served: ok=%v err=%v", ok, err)
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Errorf("stats = %+v, want 1 quarantine", st)
 	}
 }
 

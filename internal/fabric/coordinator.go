@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,13 @@ type Config struct {
 	// heartbeats nor calls in for longer is declared lost and its
 	// shards are reassigned (default 10s).
 	Lease time.Duration
+	// RetryBudget is how many failed execution attempts a single grid
+	// point tolerates before it is quarantined — isolated from the
+	// sweep so the job can finish with a partial-failure report instead
+	// of retrying forever (default 3). Failures that cannot be pinned
+	// on a point draw from a job-level budget of the same size; its
+	// exhaustion fails the job.
+	RetryBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +46,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lease <= 0 {
 		c.Lease = 10 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
 	}
 	return c
 }
@@ -71,9 +82,11 @@ type Counters struct {
 	ShardsAssigned    int64 `json:"fabric_shards_assigned"`
 	ShardsCompleted   int64 `json:"fabric_shards_completed"`
 	ShardsReassigned  int64 `json:"fabric_shards_reassigned"`
+	ShardsRetried     int64 `json:"fabric_shards_retried"`
 	DuplicateResults  int64 `json:"fabric_duplicate_results"`
 	PointsExecuted    int64 `json:"fabric_points_executed"`
 	PointsFromStore   int64 `json:"fabric_points_from_store"`
+	PointsPoisoned    int64 `json:"fabric_points_poisoned"`
 }
 
 // Coordinator owns the shard queue, the worker registry and the
@@ -95,10 +108,13 @@ type Coordinator struct {
 
 // shardRecord outlives the shard's assignment so duplicate
 // completions after a reassignment can still be validated and
-// counted as no-ops.
+// counted as no-ops. failed latches the first error completion: a
+// reassigned copy of the same shard failing again must not burn a
+// second unit of retry budget (it is the same logical attempt).
 type shardRecord struct {
-	shard *Shard
-	job   *Job
+	shard  *Shard
+	job    *Job
+	failed bool
 }
 
 // NewCoordinator builds a coordinator. Pass a cas.Store via Config to
@@ -133,6 +149,14 @@ type Job struct {
 	err       error
 	finished  bool
 	done      chan struct{}
+
+	// Retry/quarantine bookkeeping: failed execution attempts per grid
+	// point, attempts not attributable to a point, the quarantine
+	// report, and a sequence number for retry shard ids.
+	failCount    map[int]int
+	unattributed int
+	failures     []scenario.FailedPoint
+	retrySeq     int
 }
 
 // Submit validates and enumerates the sweep, prefills every point
@@ -175,6 +199,7 @@ func (c *Coordinator) Submit(sw scenario.Sweep, p scenario.Params, shards int, p
 		remaining: len(points),
 		progress:  progress,
 		done:      make(chan struct{}),
+		failCount: make(map[int]int),
 	}
 
 	// Prefill from the memo and the persistent store: a point executed
@@ -334,6 +359,13 @@ func (c *Coordinator) NextShard(workerID string) (*Shard, error) {
 // already-filled slots and changes nothing (the rows are
 // content-addressed and equal by construction). An unknown shard id
 // is an error; a completion for a finished job is a counted no-op.
+//
+// A failed completion charges one unit of retry budget against the
+// failing point (ShardResult.ErrorIndex), salvages the completed
+// prefix, and requeues the rest — with the failing point isolated in
+// its own shard so the healthy remainder keeps flowing. A point whose
+// budget runs out is quarantined: its slot is surrendered, the job
+// finishes with a partial-failure report instead of retrying forever.
 func (c *Coordinator) CompleteShard(workerID, shardID string, res ShardResult) error {
 	c.mu.Lock()
 	now := time.Now()
@@ -358,10 +390,19 @@ func (c *Coordinator) CompleteShard(workerID, shardID string, res ShardResult) e
 		c.counters.DuplicateResults++
 	}
 	c.counters.ShardsCompleted++
+	firstFailure := res.Error != "" && !rec.failed
+	if res.Error != "" {
+		rec.failed = true
+	}
 	c.mu.Unlock()
 
 	if res.Error != "" {
-		c.failJob(j, fmt.Errorf("fabric: shard %s on %s: %s", shardID, workerID, res.Error))
+		// A reassigned copy of an already-charged shard failing again is
+		// the same logical attempt: salvaging and requeueing ran the
+		// first time, so the duplicate is dropped here.
+		if firstFailure {
+			c.handleShardFailure(j, shard, workerID, res)
+		}
 		return nil
 	}
 	if len(res.Results) != len(shard.Points) {
@@ -372,13 +413,146 @@ func (c *Coordinator) CompleteShard(workerID, shardID string, res ShardResult) e
 			c.record(pt.Hash, res.Results[i])
 		}
 	}
+	j.finishIfDone()
+	return nil
+}
+
+// handleShardFailure is the retry/quarantine policy for one charged
+// shard failure: salvage the prefix the worker completed, attribute
+// the failure to a grid point via ErrorIndex, and either requeue (the
+// failing point isolated from the healthy remainder) or — once the
+// point's budget is spent — quarantine it. Failures with no
+// attributable point draw down a job-level budget and fail the whole
+// job when it is gone (the one non-convergent state left).
+func (c *Coordinator) handleShardFailure(j *Job, shard *Shard, workerID string, res ShardResult) {
+	n := len(res.Results)
+	if n > len(shard.Points) {
+		n = len(shard.Points)
+	}
+	for i := 0; i < n; i++ {
+		pt := shard.Points[i]
+		if j.fill(pt.Index, res.Results[i], true) {
+			c.record(pt.Hash, res.Results[i])
+		}
+	}
+
+	var fail *scenario.Point
+	for i := range shard.Points {
+		if shard.Points[i].Index == res.ErrorIndex {
+			fail = &shard.Points[i]
+			break
+		}
+	}
+	budget := c.cfg.RetryBudget
+	switch {
+	case fail == nil:
+		j.mu.Lock()
+		j.unattributed++
+		exhausted := j.unattributed >= budget
+		j.mu.Unlock()
+		if exhausted {
+			c.failJob(j, fmt.Errorf("fabric: shard %s on %s: %s (unattributable; retry budget exhausted)", shard.ID, workerID, res.Error))
+			return
+		}
+		c.requeue(j, shard, j.unfilledOf(shard, -1))
+	case j.isFilled(fail.Index):
+		// The "failing" point already succeeded elsewhere (a transient
+		// fault raced a duplicate execution): nothing to charge, just
+		// keep the remainder moving.
+		c.requeue(j, shard, j.unfilledOf(shard, -1))
+	default:
+		j.mu.Lock()
+		j.failCount[fail.Index]++
+		attempts := j.failCount[fail.Index]
+		j.mu.Unlock()
+		if attempts >= budget {
+			c.poison(j, *fail, res.Error, attempts)
+		} else {
+			// Isolate the failing point in its own retry shard so the
+			// healthy remainder progresses in parallel with its next
+			// attempt.
+			c.requeue(j, shard, []scenario.Point{*fail})
+		}
+		c.requeue(j, shard, j.unfilledOf(shard, fail.Index))
+	}
+	j.finishIfDone()
+}
+
+// poison quarantines one grid point: its slot is surrendered (the
+// assembled table renders a placeholder row), and the failure joins
+// the job's structured report.
+func (c *Coordinator) poison(j *Job, pt scenario.Point, errMsg string, attempts int) {
+	j.mu.Lock()
+	if j.finished || j.filled[pt.Index] {
+		j.mu.Unlock()
+		return
+	}
+	j.filled[pt.Index] = true
+	j.remaining--
+	j.failures = append(j.failures, scenario.FailedPoint{Index: pt.Index, Hash: pt.Hash, Error: errMsg, Attempts: attempts})
+	done, total := len(j.filled)-j.remaining, len(j.filled)
+	progress := j.progress
+	j.mu.Unlock()
+	c.mu.Lock()
+	c.counters.PointsPoisoned++
+	c.mu.Unlock()
+	if progress != nil {
+		progress(done, total)
+	}
+}
+
+// requeue schedules points for another attempt as a fresh shard at the
+// back of the queue.
+func (c *Coordinator) requeue(j *Job, from *Shard, points []scenario.Point) {
+	if len(points) == 0 {
+		return
+	}
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.retrySeq++
+	id := fmt.Sprintf("%s-retry-%d", j.ID, j.retrySeq)
+	j.mu.Unlock()
+	shard := &Shard{ID: id, Job: j.ID, SweepHash: from.SweepHash, Measures: append([]string(nil), from.Measures...), Points: points}
+	c.mu.Lock()
+	c.pending = append(c.pending, shard)
+	c.shards[shard.ID] = &shardRecord{shard: shard, job: j}
+	c.counters.ShardsRetried++
+	c.mu.Unlock()
+}
+
+// unfilledOf lists the shard's points whose slots are still open,
+// excluding the grid index `exclude` (-1 excludes none), in grid
+// order.
+func (j *Job) unfilledOf(shard *Shard, exclude int) []scenario.Point {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []scenario.Point
+	for _, pt := range shard.Points {
+		if pt.Index != exclude && !j.filled[pt.Index] {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// isFilled reports whether the grid point's slot is already occupied.
+func (j *Job) isFilled(index int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.filled[index]
+}
+
+// finishIfDone finalizes the job when every slot is accounted for.
+func (j *Job) finishIfDone() {
 	j.mu.Lock()
 	doneNow := j.remaining == 0 && !j.finished
 	j.mu.Unlock()
 	if doneNow {
 		j.finalize()
 	}
-	return nil
 }
 
 // reapLocked declares workers lost once their lease lapses and
@@ -511,14 +685,26 @@ func (j *Job) fill(index int, res scenario.PointResult, executed bool) bool {
 	return true
 }
 
-// finalize assembles the sweep table once every slot is filled.
+// finalize assembles the sweep table once every slot is filled. A job
+// with quarantined points assembles partially: healthy rows stay
+// byte-identical to a fault-free run, quarantined rows render
+// placeholders, and the table's notes carry the failure report.
 func (j *Job) finalize() {
 	j.mu.Lock()
 	if j.finished {
 		j.mu.Unlock()
 		return
 	}
-	table, err := j.sweep.Assemble(j.results)
+	var table *export.Table
+	var err error
+	if len(j.failures) > 0 {
+		// Quarantine order is completion order; the report (and
+		// AssemblePartial's contract) is grid order.
+		sort.Slice(j.failures, func(a, b int) bool { return j.failures[a].Index < j.failures[b].Index })
+		table, err = j.sweep.AssemblePartial(j.results, j.failures)
+	} else {
+		table, err = j.sweep.Assemble(j.results)
+	}
 	j.table, j.err = table, err
 	j.finished = true
 	close(j.done)
@@ -556,6 +742,20 @@ func (j *Job) Counts() (executed, fromStore, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.executed, j.fromStore, len(j.filled)
+}
+
+// Failures returns the job's quarantined points in grid order — the
+// structured partial-failure report (nil for a fully healthy job).
+// Stable once Wait has returned.
+func (j *Job) Failures() []scenario.FailedPoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.failures) == 0 {
+		return nil
+	}
+	out := append([]scenario.FailedPoint(nil), j.failures...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
 }
 
 // Hash returns the sweep's canonical content hash.

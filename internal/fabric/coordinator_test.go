@@ -3,6 +3,9 @@ package fabric
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -234,24 +237,192 @@ func TestStorePrefillSkipsExecution(t *testing.T) {
 	}
 }
 
-func TestShardErrorFailsJob(t *testing.T) {
+// poisonedWorker builds a worker whose RunPoint seam fails on the grid
+// points with the listed spec hashes — always when failLimit <= 0, or
+// only for the first failLimit attempts (a transient fault) — and
+// executes everything else for real.
+func poisonedWorker(failLimit int, hashes ...string) *Worker {
+	bad := make(map[string]bool, len(hashes))
+	for _, h := range hashes {
+		bad[h] = true
+	}
+	fails := 0
+	return &Worker{
+		Parallelism: 1,
+		RunPoint: func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+			if h, err := spec.Hash(); err == nil && bad[h] && (failLimit <= 0 || fails < failLimit) {
+				fails++
+				return scenario.PointResult{}, errors.New("synthetic poison")
+			}
+			return scenario.RunPoint(spec, measures, parallelism)
+		},
+	}
+}
+
+// drainWith drains the queue through the given worker, returning how
+// many shard attempts it completed and how many of those failed.
+func drainWith(t *testing.T, c *Coordinator, w *Worker) (shards, failed int) {
+	t.Helper()
+	reg := c.Register("chaos-drain")
+	for {
+		shard, err := c.NextShard(reg.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shard == nil {
+			return shards, failed
+		}
+		res := w.execute(context.Background(), shard)
+		if res.Error != "" {
+			failed++
+		}
+		if err := c.CompleteShard(reg.ID, shard.ID, res); err != nil {
+			t.Fatal(err)
+		}
+		shards++
+	}
+}
+
+// TestPoisonPointQuarantine: a grid point that fails every attempt
+// burns exactly the retry budget, is quarantined, and the job still
+// completes — healthy rows byte-identical to a fault-free run, the
+// poisoned row all placeholders, the report naming the point.
+func TestPoisonPointQuarantine(t *testing.T) {
+	pts, err := testSweep().EnumeratePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poisonIdx = 5
+	c := NewCoordinator(Config{}) // default RetryBudget: 3
+	j, err := c.Submit(testSweep(), scenario.Params{}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, failed := drainWith(t, c, poisonedWorker(0, pts[poisonIdx].Hash)); failed != 3 {
+		t.Errorf("poison point burned %d shard attempts, want exactly 3 (the retry budget)", failed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	table, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("job with a quarantined point must still complete: %v", err)
+	}
+
+	failures := j.Failures()
+	if len(failures) != 1 {
+		t.Fatalf("failure report %+v, want exactly one entry", failures)
+	}
+	f := failures[0]
+	if f.Index != poisonIdx || f.Hash != pts[poisonIdx].Hash || f.Attempts != 3 || !strings.Contains(f.Error, "synthetic poison") {
+		t.Errorf("failure report entry %+v", f)
+	}
+
+	want, err := testSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(want.Rows) {
+		t.Fatalf("partial table has %d rows, want %d", len(table.Rows), len(want.Rows))
+	}
+	for i := range table.Rows {
+		if i == poisonIdx {
+			for col, cell := range table.Rows[i] {
+				if cell != scenario.FailedCell {
+					t.Errorf("poisoned row cell %d = %q, want %q", col, cell, scenario.FailedCell)
+				}
+			}
+			continue
+		}
+		if got, w := fmt.Sprint(table.Rows[i]), fmt.Sprint(want.Rows[i]); got != w {
+			t.Errorf("healthy row %d = %s, want %s (byte-identity broken)", i, got, w)
+		}
+	}
+
+	st := c.Stats()
+	if st.PointsPoisoned != 1 {
+		t.Errorf("PointsPoisoned = %d, want 1", st.PointsPoisoned)
+	}
+	if st.ShardsRetried == 0 {
+		t.Error("no retry shards queued for the failing point")
+	}
+	if st.JobsDone != 1 || st.JobsFailed != 0 {
+		t.Errorf("jobs done/failed = %d/%d, want 1/0 (partial completion is done)", st.JobsDone, st.JobsFailed)
+	}
+	if executed, _, total := j.Counts(); executed != 7 || total != 8 {
+		t.Errorf("counts = (%d executed, %d total), want (7, 8)", executed, total)
+	}
+}
+
+// TestTransientPointFailureHeals: a point that fails twice (one short
+// of the budget) and then succeeds leaves no trace — the final table
+// is byte-identical to a fault-free run and the failure report empty.
+func TestTransientPointFailureHeals(t *testing.T) {
+	pts, err := testSweep().EnumeratePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := NewCoordinator(Config{})
 	j, err := c.Submit(testSweep(), scenario.Params{}, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := c.Register("failer")
-	shard, err := c.NextShard(w.ID)
-	if err != nil || shard == nil {
-		t.Fatalf("NextShard: %v, %v", shard, err)
+	if _, failed := drainWith(t, c, poisonedWorker(2, pts[2].Hash)); failed != 2 {
+		t.Errorf("transient point failed %d shard attempts, want 2", failed)
 	}
-	if err := c.CompleteShard(w.ID, shard.ID, ShardResult{Error: "synthetic point failure"}); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	table, err := j.Wait(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.Wait(context.Background()); err == nil {
-		t.Fatal("job succeeded despite a shard error")
+	want, err := testSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The failed job's remaining shard is dropped from the queue.
+	assertTablesEqual(t, table, want)
+	if f := j.Failures(); f != nil {
+		t.Errorf("healed job still reports failures: %+v", f)
+	}
+	st := c.Stats()
+	if st.PointsPoisoned != 0 {
+		t.Errorf("PointsPoisoned = %d, want 0", st.PointsPoisoned)
+	}
+	if st.ShardsRetried < 2 {
+		t.Errorf("ShardsRetried = %d, want >= 2", st.ShardsRetried)
+	}
+}
+
+// TestUnattributedShardErrorFailsJob: failures that cannot be pinned
+// on a grid point draw down the job-level budget; its exhaustion fails
+// the job and drops its queued shards.
+func TestUnattributedShardErrorFailsJob(t *testing.T) {
+	c := NewCoordinator(Config{RetryBudget: 2})
+	j, err := c.Submit(testSweep(), scenario.Params{}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Register("failer")
+	for i := 0; ; i++ {
+		shard, err := c.NextShard(w.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shard == nil {
+			break
+		}
+		if i > 10 {
+			t.Fatal("unattributable failures did not converge on a failed job")
+		}
+		if err := c.CompleteShard(w.ID, shard.ID, ShardResult{Error: "worker exploded", ErrorIndex: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("Wait returned %v, want unattributable budget exhaustion", err)
+	}
+	// The failed job's remaining shards are dropped from the queue.
 	if next, err := c.NextShard(w.ID); err != nil || next != nil {
 		t.Fatalf("failed job left shard %v in the queue (err %v)", next, err)
 	}

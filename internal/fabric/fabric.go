@@ -47,11 +47,17 @@ type Shard struct {
 	Points    []scenario.Point `json:"points"`
 }
 
-// ShardResult is what a worker pushes back: one PointResult per shard
-// point, in shard order — or an error when a point failed to execute.
+// ShardResult is what a worker pushes back. On success, Results holds
+// one PointResult per shard point, in shard order. On failure, Error
+// is set, Results holds the prefix of rows completed before the
+// failure (so partial progress is never thrown away), and ErrorIndex
+// is the grid index of the point that failed — the coordinator's
+// retry accounting and poison quarantine key off it. ErrorIndex is -1
+// when the failure cannot be pinned on a specific point.
 type ShardResult struct {
-	Results []scenario.PointResult `json:"results,omitempty"`
-	Error   string                 `json:"error,omitempty"`
+	Results    []scenario.PointResult `json:"results,omitempty"`
+	Error      string                 `json:"error,omitempty"`
+	ErrorIndex int                    `json:"error_index,omitempty"`
 }
 
 // WorkerInfo is the coordinator's answer to a registration: the
@@ -96,7 +102,8 @@ type RegisterResponse struct {
 
 // CompleteRequest is the body of POST /v1/shards/{id}/result.
 type CompleteRequest struct {
-	WorkerID string                 `json:"worker_id"`
-	Results  []scenario.PointResult `json:"results,omitempty"`
-	Error    string                 `json:"error,omitempty"`
+	WorkerID   string                 `json:"worker_id"`
+	Results    []scenario.PointResult `json:"results,omitempty"`
+	Error      string                 `json:"error,omitempty"`
+	ErrorIndex int                    `json:"error_index,omitempty"`
 }

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
+	"selfishnet/internal/rng"
 	"selfishnet/internal/scenario"
 )
 
@@ -32,7 +35,24 @@ type Worker struct {
 	// Logf, when non-nil, receives operational events (registration,
 	// transient errors). The fabric never logs on its own.
 	Logf func(format string, args ...any)
+	// RunPoint, when non-nil, replaces scenario.RunPoint as the
+	// per-point execution function — the seam chaos tests use to inject
+	// deterministic point failures and panics. Production code leaves
+	// it nil.
+	RunPoint func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error)
 }
+
+// heartbeatFailLimit is how many consecutive heartbeat transport
+// failures a worker tolerates before it abandons its registration and
+// re-registers (a 410 — the coordinator explicitly forgetting us —
+// short-circuits immediately).
+const heartbeatFailLimit = 3
+
+// errHeartbeatLost reports a serve loop cancelled because heartbeats
+// stopped reaching the coordinator: the lease is presumed lapsed and
+// the worker re-registers immediately instead of waiting for the next
+// Next/Complete call to hit 410.
+var errHeartbeatLost = errors.New("fabric: heartbeat lost; re-registering")
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Logf != nil {
@@ -69,7 +89,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		if err != nil {
 			w.logf("fabric worker %s (%s): %v; re-registering", w.Name, info.ID, err)
-			if err != ErrUnknownWorker && !sleepCtx(ctx, poll) {
+			// A coordinator that forgot us (410) or a lost heartbeat
+			// stream re-registers immediately; anything else backs off
+			// one poll first.
+			if !errors.Is(err, ErrUnknownWorker) && !errors.Is(err, errHeartbeatLost) && !sleepCtx(ctx, poll) {
 				return ctx.Err()
 			}
 		}
@@ -77,8 +100,9 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // serve is one registration's pull–execute–push loop. It returns
-// ErrUnknownWorker when the coordinator forgets us (the caller
-// re-registers) and ctx.Err() on shutdown.
+// ErrUnknownWorker when the coordinator forgets us,
+// errHeartbeatLost when heartbeats stop landing (the caller
+// re-registers in both cases) and ctx.Err() on shutdown.
 func (w *Worker) serve(ctx context.Context, info WorkerInfo, poll time.Duration) error {
 	// Heartbeat at a third of the lease so two beats can be lost
 	// before the coordinator declares us dead.
@@ -86,34 +110,52 @@ func (w *Worker) serve(ctx context.Context, info WorkerInfo, poll time.Duration)
 	if beat <= 0 {
 		beat = poll
 	}
-	hbCtx, stopHB := context.WithCancel(ctx)
-	defer stopHB()
+	// The heartbeat goroutine can cancel the serve loop: a 410 or
+	// heartbeatFailLimit consecutive transport failures mean our lease
+	// is (or is about to be) gone, so re-registering now beats idling
+	// until the next Next/Complete call discovers it.
+	loopCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 	go func() {
 		t := time.NewTicker(beat)
 		defer t.Stop()
+		fails := 0
 		for {
 			select {
-			case <-hbCtx.Done():
+			case <-loopCtx.Done():
 				return
 			case <-t.C:
-				// A failed beat is recovered by the main loop's next
-				// call erroring with ErrUnknownWorker.
-				_ = w.Client.Heartbeat(info.ID)
+				err := w.Client.Heartbeat(info.ID)
+				switch {
+				case err == nil:
+					fails = 0
+				case errors.Is(err, ErrUnknownWorker):
+					cancel(ErrUnknownWorker)
+					return
+				default:
+					if fails++; fails >= heartbeatFailLimit {
+						cancel(errHeartbeatLost)
+						return
+					}
+				}
 			}
 		}
 	}()
 
 	for {
-		if err := ctx.Err(); err != nil {
-			return err
+		if loopCtx.Err() != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.Cause(loopCtx)
 		}
 		shard, err := w.Client.Next(info.ID)
 		if err != nil {
 			return err
 		}
 		if shard == nil {
-			if !sleepCtx(ctx, poll) {
-				return ctx.Err()
+			if !sleepCtx(loopCtx, poll) {
+				continue // loop top sorts shutdown from heartbeat loss
 			}
 			continue
 		}
@@ -131,20 +173,38 @@ func (w *Worker) serve(ctx context.Context, info WorkerInfo, poll time.Duration)
 	}
 }
 
-// execute renders every point in the shard, in shard order.
+// execute renders every point in the shard, in shard order. A point
+// failure stops the shard but keeps the prefix already computed:
+// the coordinator fills those slots and retries only the remainder.
 func (w *Worker) execute(ctx context.Context, shard *Shard) ShardResult {
 	results := make([]scenario.PointResult, 0, len(shard.Points))
 	for _, pt := range shard.Points {
 		if err := ctx.Err(); err != nil {
-			return ShardResult{Error: err.Error()}
+			return ShardResult{Results: results, Error: err.Error(), ErrorIndex: pt.Index}
 		}
-		res, err := scenario.RunPoint(pt.Spec, shard.Measures, w.Parallelism)
+		res, err := w.runPoint(pt.Spec, shard.Measures)
 		if err != nil {
-			return ShardResult{Error: fmt.Sprintf("point %d: %v", pt.Index, err)}
+			return ShardResult{Results: results, Error: fmt.Sprintf("point %d: %v", pt.Index, err), ErrorIndex: pt.Index}
 		}
 		results = append(results, res)
 	}
-	return ShardResult{Results: results}
+	return ShardResult{Results: results, ErrorIndex: -1}
+}
+
+// runPoint executes one grid point through the RunPoint seam,
+// recovering a panic into an error so a poisoned spec takes down one
+// shard attempt, not the whole worker process.
+func (w *Worker) runPoint(spec scenario.Spec, measures []string) (res scenario.PointResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	run := w.RunPoint
+	if run == nil {
+		run = scenario.RunPoint
+	}
+	return run(spec, measures, w.Parallelism)
 }
 
 // sleepCtx sleeps d unless ctx ends first, reporting whether the full
@@ -195,36 +255,130 @@ func (c LocalClient) Complete(workerID, shardID string, res ShardResult) error {
 //	POST /v1/shards/{id}/result       {"worker_id", "results"|"error"} → 204
 //
 // 410 Gone maps to ErrUnknownWorker so the Worker loop re-registers.
+//
+// Every request is bounded by Timeout and retried on transport errors
+// (connection refused, resets, timeouts — never on HTTP status codes,
+// which are the coordinator speaking) under Retry's capped exponential
+// backoff with deterministic jitter. Use it by pointer: the jitter
+// stream carries state.
 type HTTPClient struct {
 	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Timeout bounds each individual request attempt (default 10s;
+	// negative disables the bound).
+	Timeout time.Duration
+	// Retry is the transport-error retry schedule.
+	Retry Backoff
+
+	mu     sync.Mutex
+	jitter *rng.RNG
 }
 
-func (c HTTPClient) client() *http.Client {
+// Backoff is a capped exponential backoff schedule with deterministic
+// jitter: try n waits Base·2^(n-1) capped at Cap, scaled by a factor
+// in [0.5, 1.0) drawn from a seeded rng stream — deterministic so
+// chaos runs replay identically, jittered so a re-registering fleet
+// does not stampede the coordinator in lockstep.
+type Backoff struct {
+	// Attempts is the total number of tries per request (default 3;
+	// 1 disables retries).
+	Attempts int
+	// Base is the first retry's delay (default 50ms).
+	Base time.Duration
+	// Cap bounds any single delay (default 2s).
+	Cap time.Duration
+	// Seed seeds the jitter stream (default 1).
+	Seed uint64
+}
+
+func (c *HTTPClient) client() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
 	return http.DefaultClient
 }
 
-// do sends one request and decodes the response into out (when
-// non-nil and the status is 200).
-func (c HTTPClient) do(method, path string, body, out any) (int, error) {
-	var rd io.Reader
+// retryDelay is the wait before try n (n ≥ 1 retries into a request).
+func (c *HTTPClient) retryDelay(try int) time.Duration {
+	base := c.Retry.Base
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	ceil := c.Retry.Cap
+	if ceil <= 0 {
+		ceil = 2 * time.Second
+	}
+	d := base << (try - 1)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	c.mu.Lock()
+	if c.jitter == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.jitter = rng.New(seed)
+	}
+	f := 0.5 + 0.5*c.jitter.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do sends one request (with bounded retries on transport errors) and
+// decodes the response into out (when non-nil and the status is 200).
+func (c *HTTPClient) do(method, path string, body, out any) (int, error) {
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
 			return 0, err
 		}
+	}
+	attempts := c.Retry.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			time.Sleep(c.retryDelay(try))
+		}
+		status, err := c.doOnce(method, path, blob, body != nil, out)
+		if status != 0 || err == nil {
+			// A non-zero status means the HTTP exchange happened:
+			// whatever it said (including 410 and error statuses) is
+			// authoritative, not transient.
+			return status, err
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// doOnce is a single bounded request attempt.
+func (c *HTTPClient) doOnce(method, path string, blob []byte, hasBody bool, out any) (int, error) {
+	ctx := context.Background()
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return 0, err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.client().Do(req)
@@ -249,7 +403,7 @@ func (c HTTPClient) do(method, path string, body, out any) (int, error) {
 }
 
 // Register implements Client.
-func (c HTTPClient) Register(name string) (WorkerInfo, error) {
+func (c *HTTPClient) Register(name string) (WorkerInfo, error) {
 	var out RegisterResponse
 	if _, err := c.do(http.MethodPost, "/v1/workers/register", RegisterRequest{Name: name}, &out); err != nil {
 		return WorkerInfo{}, err
@@ -258,13 +412,13 @@ func (c HTTPClient) Register(name string) (WorkerInfo, error) {
 }
 
 // Heartbeat implements Client.
-func (c HTTPClient) Heartbeat(workerID string) error {
+func (c *HTTPClient) Heartbeat(workerID string) error {
 	_, err := c.do(http.MethodPost, "/v1/workers/"+url.PathEscape(workerID)+"/heartbeat", nil, nil)
 	return err
 }
 
 // Next implements Client.
-func (c HTTPClient) Next(workerID string) (*Shard, error) {
+func (c *HTTPClient) Next(workerID string) (*Shard, error) {
 	var shard Shard
 	status, err := c.do(http.MethodGet, "/v1/shards/next?worker="+url.QueryEscape(workerID), nil, &shard)
 	if err != nil {
@@ -277,8 +431,8 @@ func (c HTTPClient) Next(workerID string) (*Shard, error) {
 }
 
 // Complete implements Client.
-func (c HTTPClient) Complete(workerID, shardID string, res ShardResult) error {
+func (c *HTTPClient) Complete(workerID, shardID string, res ShardResult) error {
 	_, err := c.do(http.MethodPost, "/v1/shards/"+url.PathEscape(shardID)+"/result",
-		CompleteRequest{WorkerID: workerID, Results: res.Results, Error: res.Error}, nil)
+		CompleteRequest{WorkerID: workerID, Results: res.Results, Error: res.Error, ErrorIndex: res.ErrorIndex}, nil)
 	return err
 }

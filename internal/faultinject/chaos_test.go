@@ -1,0 +1,258 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfishnet/internal/cas"
+	"selfishnet/internal/export"
+	"selfishnet/internal/fabric"
+	"selfishnet/internal/scenario"
+)
+
+// chaosSweep is the differential grid: 2×2×2 (seeds × alphas × gammas)
+// over a small uniform metric in quick mode — the same 8-point grid
+// the fabric's own byte-identity matrix uses.
+func chaosSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Name: "chaos-test",
+		Base: scenario.Spec{
+			Quick:  true,
+			Seed:   1,
+			Metric: scenario.MetricSpec{Family: "uniform", N: 8},
+			Game:   scenario.GameSpec{Alpha: 2},
+		},
+		Alphas: []float64{1, 4},
+		Seeds:  []uint64{1, 2},
+		Gammas: []float64{0, 0.1},
+	}
+}
+
+func tableJSON(t *testing.T, table *export.Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// startChaosWorkers launches n workers whose client calls and point
+// executions run through the injector.
+func startChaosWorkers(in *Injector, c *fabric.Coordinator, n int) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &fabric.Worker{
+				Client:      in.Client(fabric.LocalClient{Coordinator: c}),
+				Name:        fmt.Sprintf("chaos-%d", i),
+				Parallelism: 1,
+				Poll:        5 * time.Millisecond,
+				RunPoint:    in.RunPoint,
+			}
+			_ = w.Run(ctx)
+		}(i)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestChaosDifferential is the headline robustness criterion: a seeded
+// fault plan — dropped and delayed fabric calls, injected point errors
+// and panics, torn and bit-flipped store writes — against the full
+// coordinator + workers + CAS stack must still produce a sweep table
+// byte-identical to a fault-free run, at every chaos seed. A second
+// phase re-submits the sweep on a fresh coordinator over the same
+// (possibly corrupted) store: read-time verification must quarantine
+// bad blobs and re-execute, keeping the table identical again.
+func TestChaosDifferential(t *testing.T) {
+	want, err := chaosSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := tableJSON(t, want)
+
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in := New(Plan{
+				Seed:       seed,
+				DropCall:   0.08,
+				DelayCall:  0.05,
+				Delay:      15 * time.Millisecond,
+				PointError: 0.10,
+				PointPanic: 0.05,
+				TornWrite:  0.20,
+				BitFlip:    0.10,
+			})
+			dir := t.TempDir()
+			store, err := cas.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store.SetPutFault(in.PutFault())
+
+			c := fabric.NewCoordinator(fabric.Config{Store: store, Lease: 250 * time.Millisecond})
+			j, err := c.Submit(chaosSweep(), scenario.Params{}, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := startChaosWorkers(in, c, 3)
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			table, err := j.Wait(ctx)
+			stop()
+			if err != nil {
+				t.Fatalf("seed %d: chaos run failed: %v (stats %+v)", seed, err, in.Stats())
+			}
+			if f := j.Failures(); f != nil {
+				t.Fatalf("seed %d: transient chaos quarantined points: %+v", seed, f)
+			}
+			if got := tableJSON(t, table); got != wantJSON {
+				t.Errorf("seed %d: chaos table differs from fault-free run:\ngot:\n%s\nwant:\n%s", seed, got, wantJSON)
+			}
+
+			// Phase 2: restart over the same store. Corrupted blobs (torn
+			// writes, bit flips that landed on disk) must come back as
+			// quarantined misses and re-execute; clean blobs are served.
+			store2, err := cas.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store2.SetPutFault(in.PutFault())
+			c2 := fabric.NewCoordinator(fabric.Config{Store: store2, Lease: 250 * time.Millisecond})
+			j2, err := c2.Submit(chaosSweep(), scenario.Params{}, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop2 := startChaosWorkers(in, c2, 2)
+			table2, err := j2.Wait(ctx)
+			stop2()
+			if err != nil {
+				t.Fatalf("seed %d: post-restart run failed: %v", seed, err)
+			}
+			if got := tableJSON(t, table2); got != wantJSON {
+				t.Errorf("seed %d: post-restart table differs from fault-free run", seed)
+			}
+			st := in.Stats()
+			if st.CallsDropped+st.CallsDelayed+st.PointErrors+st.PointPanics+st.TornWrites+st.BitFlips == 0 {
+				t.Errorf("seed %d: the plan injected no faults at all — the differential proved nothing", seed)
+			}
+			t.Logf("seed %d: injected %+v; store quarantined %d", seed, st, store2.Stats().Quarantined)
+		})
+	}
+}
+
+// TestChaosPoisonQuarantine drives the poison-point path through the
+// full stack under ambient chaos: the poisoned point must burn exactly
+// the retry budget and be quarantined, the job must still complete,
+// and the partial table's healthy rows must stay byte-identical to the
+// fault-free run.
+func TestChaosPoisonQuarantine(t *testing.T) {
+	pts, err := chaosSweep().EnumeratePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poisonIdx = 3
+	in := New(Plan{
+		Seed:       7,
+		DropCall:   0.05,
+		DelayCall:  0.05,
+		PointError: 0.05,
+		PointPanic: 0.03,
+		Poison:     []string{pts[poisonIdx].Hash},
+	})
+
+	c := fabric.NewCoordinator(fabric.Config{Lease: 250 * time.Millisecond})
+	j, err := c.Submit(chaosSweep(), scenario.Params{}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := startChaosWorkers(in, c, 2)
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	table, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatalf("poison run must complete with a partial table, got: %v", err)
+	}
+
+	failures := j.Failures()
+	if len(failures) != 1 {
+		t.Fatalf("failure report %+v, want exactly the poisoned point", failures)
+	}
+	f := failures[0]
+	if f.Index != poisonIdx || f.Hash != pts[poisonIdx].Hash {
+		t.Errorf("report names point %d (%s), want %d (%s)", f.Index, f.Hash, poisonIdx, pts[poisonIdx].Hash)
+	}
+	if f.Attempts != 3 {
+		t.Errorf("poisoned point burned %d attempts, want exactly the retry budget (3)", f.Attempts)
+	}
+	if !strings.Contains(f.Error, "poisoned point") {
+		t.Errorf("report error %q does not carry the injected cause", f.Error)
+	}
+
+	want, err := chaosSweep().Run(scenario.Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range table.Rows {
+		if i == poisonIdx {
+			for col, cell := range table.Rows[i] {
+				if cell != scenario.FailedCell {
+					t.Errorf("poisoned row cell %d = %q, want %q", col, cell, scenario.FailedCell)
+				}
+			}
+			continue
+		}
+		if got, w := fmt.Sprint(table.Rows[i]), fmt.Sprint(want.Rows[i]); got != w {
+			t.Errorf("healthy row %d = %s, want %s (byte-identity broken)", i, got, w)
+		}
+	}
+	if st := c.Stats(); st.PointsPoisoned != 1 {
+		t.Errorf("PointsPoisoned = %d, want 1", st.PointsPoisoned)
+	}
+}
+
+// TestInjectorDeterminism: two injectors built from the same plan make
+// identical decisions for the same single-threaded call sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, DropCall: 0.3, DelayCall: 0.2, TornWrite: 0.4, BitFlip: 0.3}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 200; i++ {
+		da, ea := a.callFault("next")
+		db, eb := b.callFault("next")
+		if da != db || (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d: decision diverged: (%v, %v) vs (%v, %v)", i, da, ea, db, eb)
+		}
+	}
+	fa, fb := a.PutFault(), b.PutFault()
+	blob := bytes.Repeat([]byte("determinism"), 16)
+	for i := 0; i < 200; i++ {
+		if !bytes.Equal(fa("ns", "h", blob), fb("ns", "h", blob)) {
+			t.Fatalf("write %d: fault output diverged", i)
+		}
+	}
+	// Distinct seeds must diverge somewhere in the same window.
+	c := New(Plan{Seed: 43, DropCall: 0.3, DelayCall: 0.2})
+	same := true
+	for i := 0; i < 200; i++ {
+		da, ea := a.callFault("next")
+		dc, ec := c.callFault("next")
+		if da != dc || (ea == nil) != (ec == nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 made identical decisions for 200 calls")
+	}
+}

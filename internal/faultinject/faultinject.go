@@ -1,0 +1,288 @@
+// Package faultinject is the deterministic chaos layer: a seeded fault
+// plan expanded by internal/rng streams into per-call, per-point and
+// per-write fault decisions against the sweep fabric. It wraps the
+// three surfaces where real deployments fail —
+//
+//   - the fabric.Client transport (dropped and delayed
+//     Register/Heartbeat/Next/Complete calls),
+//   - worker execution (injected per-point errors and panics, plus
+//     always-failing "poisoned" points), and
+//   - the cas.Store write path (torn writes and bit flips, via
+//     Store.SetPutFault),
+//
+// so the chaos differential suite can assert the house invariant under
+// fire: every fault the plan injects is either transparently retried
+// or quarantined, and the final sweep table stays byte-identical to a
+// fault-free run.
+//
+// Determinism contract: all draws come from streams seeded by
+// Plan.Seed, so a single-threaded replay of the same call sequence
+// makes identical decisions. Under a concurrent fleet the *assignment*
+// of faults to calls depends on arrival order — what stays fixed is
+// the budget shape (fault probabilities, the per-point failure cap)
+// that the convergence argument rests on: injected point failures are
+// capped below the coordinator's retry budget, so no transient fault
+// can escalate into a quarantine, and CAS corruption is always caught
+// by read-time verification and re-executed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"selfishnet/internal/fabric"
+	"selfishnet/internal/rng"
+	"selfishnet/internal/scenario"
+)
+
+// ErrInjected is the root of every error this package fabricates;
+// test assertions match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Plan is a seeded chaos plan. Probabilities are per decision (per
+// client call, per point attempt, per store write); zero disables the
+// fault class. The zero Plan injects nothing.
+type Plan struct {
+	// Seed seeds every decision stream.
+	Seed uint64
+
+	// DropCall is the probability a fabric client call fails with an
+	// ErrInjected transport-style error before reaching the
+	// coordinator.
+	DropCall float64
+	// DelayCall is the probability a call is stalled by Delay before
+	// being forwarded — long enough delays simulate hangs that outlive
+	// the worker's lease.
+	DelayCall float64
+	// Delay is the injected stall (default 10ms).
+	Delay time.Duration
+
+	// PointError is the probability one grid-point execution attempt
+	// fails with an injected error.
+	PointError float64
+	// PointPanic is the probability one attempt panics instead (the
+	// worker must recover it into a ShardResult error).
+	PointPanic float64
+	// MaxPointFails caps injected failures per grid point (default 2 —
+	// one under the coordinator's default retry budget, so chaos alone
+	// never quarantines a healthy point).
+	MaxPointFails int
+	// Poison lists spec hashes whose execution always fails, past any
+	// cap — the driver for poison-point quarantine scenarios.
+	Poison []string
+
+	// TornWrite is the probability a store Put lands truncated to half
+	// its length (a torn write caught mid-rename).
+	TornWrite float64
+	// BitFlip is the probability a Put lands with one flipped bit.
+	BitFlip float64
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	CallsDropped int64
+	CallsDelayed int64
+	PointErrors  int64
+	PointPanics  int64
+	PoisonHits   int64
+	TornWrites   int64
+	BitFlips     int64
+}
+
+// Injector is the runtime state of one plan: independent decision
+// streams per fault surface plus the per-point failure ledger. Safe
+// for concurrent use.
+type Injector struct {
+	plan Plan
+
+	mu         sync.Mutex
+	calls      *rng.RNG
+	points     *rng.RNG
+	writes     *rng.RNG
+	pointFails map[string]int
+	poison     map[string]bool
+	stats      Stats
+}
+
+// New expands a plan into an injector. Each fault surface gets its own
+// Split stream so, e.g., adding CAS faults to a plan does not reshuffle
+// which client calls drop.
+func New(plan Plan) *Injector {
+	if plan.Delay <= 0 {
+		plan.Delay = 10 * time.Millisecond
+	}
+	if plan.MaxPointFails <= 0 {
+		plan.MaxPointFails = 2
+	}
+	root := rng.New(plan.Seed)
+	in := &Injector{
+		plan:       plan,
+		calls:      root.Split(),
+		points:     root.Split(),
+		writes:     root.Split(),
+		pointFails: make(map[string]int),
+		poison:     make(map[string]bool, len(plan.Poison)),
+	}
+	for _, h := range plan.Poison {
+		in.poison[h] = true
+	}
+	return in
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// callFault decides one client call's fate: an error (drop), a stall
+// to apply before forwarding, or neither.
+func (in *Injector) callFault(op string) (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plan.DropCall > 0 && in.calls.Bool(in.plan.DropCall) {
+		in.stats.CallsDropped++
+		return 0, fmt.Errorf("%w: dropped %s call", ErrInjected, op)
+	}
+	if in.plan.DelayCall > 0 && in.calls.Bool(in.plan.DelayCall) {
+		in.stats.CallsDelayed++
+		return in.plan.Delay, nil
+	}
+	return 0, nil
+}
+
+// Client wraps a fabric client with the plan's call faults: each
+// Register/Heartbeat/Next/Complete call may be dropped (an ErrInjected
+// error, as a flaky network would produce) or delayed before reaching
+// the inner client.
+func (in *Injector) Client(inner fabric.Client) fabric.Client {
+	return chaosClient{in: in, inner: inner}
+}
+
+type chaosClient struct {
+	in    *Injector
+	inner fabric.Client
+}
+
+func (c chaosClient) fault(op string) error {
+	d, err := c.in.callFault(op)
+	if err != nil {
+		return err
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// Register implements fabric.Client.
+func (c chaosClient) Register(name string) (fabric.WorkerInfo, error) {
+	if err := c.fault("register"); err != nil {
+		return fabric.WorkerInfo{}, err
+	}
+	return c.inner.Register(name)
+}
+
+// Heartbeat implements fabric.Client.
+func (c chaosClient) Heartbeat(workerID string) error {
+	if err := c.fault("heartbeat"); err != nil {
+		return err
+	}
+	return c.inner.Heartbeat(workerID)
+}
+
+// Next implements fabric.Client.
+func (c chaosClient) Next(workerID string) (*fabric.Shard, error) {
+	if err := c.fault("next"); err != nil {
+		return nil, err
+	}
+	return c.inner.Next(workerID)
+}
+
+// Complete implements fabric.Client.
+func (c chaosClient) Complete(workerID, shardID string, res fabric.ShardResult) error {
+	if err := c.fault("complete"); err != nil {
+		return err
+	}
+	return c.inner.Complete(workerID, shardID, res)
+}
+
+type pointFaultKind int
+
+const (
+	faultNone pointFaultKind = iota
+	faultError
+	faultPanic
+	faultPoison
+)
+
+// RunPoint is a drop-in for the fabric.Worker RunPoint seam: it
+// injects the plan's per-point errors, panics and poison before
+// delegating healthy attempts to the real scenario engine.
+func (in *Injector) RunPoint(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+	switch in.pointFault(spec) {
+	case faultPanic:
+		panic("faultinject: injected panic")
+	case faultError:
+		return scenario.PointResult{}, fmt.Errorf("%w: point execution failed", ErrInjected)
+	case faultPoison:
+		return scenario.PointResult{}, fmt.Errorf("%w: poisoned point", ErrInjected)
+	}
+	return scenario.RunPoint(spec, measures, parallelism)
+}
+
+// pointFault decides one execution attempt's fate. Poisoned points
+// always fail; everything else fails at most MaxPointFails times so
+// retries are guaranteed to converge under the coordinator's budget.
+func (in *Injector) pointFault(spec scenario.Spec) pointFaultKind {
+	h, err := spec.Hash()
+	if err != nil {
+		h = ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.poison[h] {
+		in.stats.PoisonHits++
+		return faultPoison
+	}
+	if in.pointFails[h] >= in.plan.MaxPointFails {
+		return faultNone
+	}
+	if in.plan.PointPanic > 0 && in.points.Bool(in.plan.PointPanic) {
+		in.pointFails[h]++
+		in.stats.PointPanics++
+		return faultPanic
+	}
+	if in.plan.PointError > 0 && in.points.Bool(in.plan.PointError) {
+		in.pointFails[h]++
+		in.stats.PointErrors++
+		return faultError
+	}
+	return faultNone
+}
+
+// PutFault returns a hook for cas.Store.SetPutFault that lands the
+// plan's torn writes (truncation to half length, as if the process
+// died mid-write) and single-bit flips on disk. The store's read-time
+// checksum verification is what must turn these into quarantined
+// misses rather than corrupt results.
+func (in *Injector) PutFault() func(ns, hash string, blob []byte) []byte {
+	return func(ns, hash string, blob []byte) []byte {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.plan.TornWrite > 0 && in.writes.Bool(in.plan.TornWrite) {
+			in.stats.TornWrites++
+			return append([]byte(nil), blob[:len(blob)/2]...)
+		}
+		if in.plan.BitFlip > 0 && len(blob) > 0 && in.writes.Bool(in.plan.BitFlip) {
+			in.stats.BitFlips++
+			out := append([]byte(nil), blob...)
+			out[in.writes.Intn(len(out))] ^= 1 << in.writes.Intn(8)
+			return out
+		}
+		return blob
+	}
+}

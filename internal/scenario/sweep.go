@@ -224,6 +224,68 @@ func RunPoint(spec Spec, measures []string, parallelism int) (PointResult, error
 	return PointResult{Row: row, NonEquilibrium: out.nonEquilibrium}, nil
 }
 
+// FailedPoint describes one grid point that could not be executed: its
+// grid index, the spec's content hash, the final error, and how many
+// attempts were spent before giving up. It is the unit of the
+// structured partial-failure report produced by the fabric's
+// poison-point quarantine and by keep-going CLI sweeps.
+type FailedPoint struct {
+	Index    int    `json:"index"`
+	Hash     string `json:"hash,omitempty"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// FailedCell is the placeholder rendered into every cell of a failed
+// point's row in a partial sweep table.
+const FailedCell = "error"
+
+// AssemblePartial is Assemble for sweeps where some grid points failed
+// permanently: healthy points' rows are reduced exactly as Assemble
+// would (byte-identical to the fault-free table's rows), failed
+// points' rows are filled with FailedCell placeholders, and the table
+// carries a deterministic note per failure — the structured
+// partial-failure report in rendered form. An empty failed list
+// delegates to Assemble. Failed indexes must be in range and strictly
+// increasing (the quarantine report is kept in grid order).
+func (sw Sweep) AssemblePartial(results []PointResult, failed []FailedPoint) (*export.Table, error) {
+	if len(failed) == 0 {
+		return sw.Assemble(results)
+	}
+	if len(results) != len(sw.Points()) {
+		return nil, fmt.Errorf("scenario: sweep %q: %d point result(s) for a %d-point grid",
+			sw.Name, len(results), len(sw.Points()))
+	}
+	headers := specHeaders(effectiveMeasures(sw.Base))
+	filled := append([]PointResult(nil), results...)
+	prev := -1
+	for _, f := range failed {
+		if f.Index <= prev || f.Index >= len(filled) {
+			return nil, fmt.Errorf("scenario: sweep %q: failed point index %d out of order or range", sw.Name, f.Index)
+		}
+		prev = f.Index
+		row := make([]string, len(headers))
+		for i := range row {
+			row[i] = FailedCell
+		}
+		filled[f.Index] = PointResult{Row: row}
+	}
+	tb, err := sw.Assemble(filled)
+	if err != nil {
+		return nil, err
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf("partial failure: %d of %d point(s) quarantined; their rows read %q",
+		len(failed), len(filled), FailedCell))
+	for _, f := range failed {
+		note := fmt.Sprintf("point %d failed: %s", f.Index, f.Error)
+		if f.Attempts > 0 {
+			note += fmt.Sprintf(" (after %d attempt(s))", f.Attempts)
+		}
+		tb.Notes = append(tb.Notes, note)
+	}
+	return tb, nil
+}
+
 // Assemble reduces per-point results, in grid order, into the sweep's
 // result table — exactly the table Run produces when it executes the
 // same points itself. Results must be complete (one per grid point, in
@@ -334,6 +396,59 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 		}
 	}
 	return sw.Assemble(results)
+}
+
+// RunPartialContext is RunContext with keep-going semantics: a grid
+// point that fails to execute no longer aborts the sweep — its row is
+// rendered as FailedCell placeholders and reported in the returned
+// FailedPoint list (grid order, single attempt each), while healthy
+// points' rows stay byte-identical to a fault-free run. The error
+// return covers sweep-level problems only (validation, cancellation,
+// assembly); a fully healthy run returns an empty failure list.
+func (sw Sweep) RunPartialContext(ctx context.Context, p Params, parallelism int, progress func(done, total int)) (*export.Table, []FailedPoint, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, nil, err
+	}
+	points := sw.Points()
+	measures := effectiveMeasures(sw.Base)
+	workers, inner := splitBudget(parallelism, len(points), p.Parallelism)
+
+	results := make([]PointResult, len(points))
+	errs := make([]error, len(points))
+	var progressMu sync.Mutex
+	finished := 0
+	complete := forEachIndexCtx(ctx, len(points), workers, func(i int) {
+		spec := points[i]
+		if p.Quick {
+			spec.Quick = true
+		}
+		results[i], errs[i] = RunPoint(spec, measures, inner)
+		if progress != nil {
+			progressMu.Lock()
+			finished++
+			progress(finished, len(points))
+			progressMu.Unlock()
+		}
+	})
+	if !complete {
+		return nil, nil, fmt.Errorf("scenario: sweep %q: %w", sw.Name, ctx.Err())
+	}
+	var failed []FailedPoint
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		hash, herr := points[i].Hash()
+		if herr != nil {
+			hash = ""
+		}
+		failed = append(failed, FailedPoint{Index: i, Hash: hash, Error: err.Error(), Attempts: 1})
+	}
+	table, err := sw.AssemblePartial(results, failed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return table, failed, nil
 }
 
 // ReadSweep decodes a Sweep from JSON, rejecting unknown fields.

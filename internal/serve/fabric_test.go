@@ -124,7 +124,7 @@ func newFabricServer(t *testing.T, store *cas.Store, workers int) (*Server, stri
 		go func() {
 			defer wg.Done()
 			w := &fabric.Worker{
-				Client:      fabric.HTTPClient{Base: ts.URL},
+				Client:      &fabric.HTTPClient{Base: ts.URL},
 				Parallelism: 1,
 				Poll:        5 * time.Millisecond,
 			}
@@ -169,7 +169,7 @@ func TestFabricBackedSweepMatchesInProcess(t *testing.T) {
 func TestFabricEndpointStatuses(t *testing.T) {
 	_, url, _, _ := newFabricServer(t, nil, 0)
 
-	client := fabric.HTTPClient{Base: url}
+	client := &fabric.HTTPClient{Base: url}
 	info, err := client.Register("status-probe")
 	if err != nil {
 		t.Fatal(err)

@@ -52,7 +52,13 @@ type JobDoc struct {
 	Progress JobProgress     `json:"progress"`
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
-	Sweep    scenario.Sweep  `json:"sweep"`
+	// Failures is the structured partial-failure report: grid points
+	// quarantined by the fabric's retry budget. A job with failures is
+	// still done — healthy rows are byte-identical to a clean sweep and
+	// the failed rows render placeholders — but its hash does not dedup
+	// and its result is not persisted, so a resubmission re-executes.
+	Failures []scenario.FailedPoint `json:"failures,omitempty"`
+	Sweep    scenario.Sweep         `json:"sweep"`
 }
 
 // JobProgress counts completed grid points out of the sweep's total.
@@ -90,11 +96,13 @@ var (
 // slot immediately (a buffered channel would keep cancelled jobs
 // occupying slots until a worker drained them, rejecting legitimate
 // submissions as queue-full).
-// sweepRunner executes one sweep to a table. The default runs the
-// scenario engine in-process; a fabric-backed server swaps in a runner
-// that submits to the coordinator instead. Both produce byte-identical
-// tables, so the choice is invisible to clients.
-type sweepRunner func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error)
+// sweepRunner executes one sweep to a table plus the quarantined
+// points, if any (only a fabric-backed runner can report a non-empty
+// list). The default runs the scenario engine in-process; a
+// fabric-backed server swaps in a runner that submits to the
+// coordinator instead. Both produce byte-identical tables, so the
+// choice is invisible to clients.
+type sweepRunner func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, []scenario.FailedPoint, error)
 
 type jobManager struct {
 	pointParallelism int
@@ -122,6 +130,7 @@ type jobManager struct {
 	pruned    atomic.Int64
 	fromStore atomic.Int64
 	dropped   atomic.Int64 // state records rejected during restore
+	partial   atomic.Int64 // done jobs carrying a partial-failure report
 }
 
 func newJobManager(workers, queueDepth, maxJobs, pointParallelism int) *jobManager {
@@ -133,8 +142,9 @@ func newJobManager(workers, queueDepth, maxJobs, pointParallelism int) *jobManag
 		byHash:           make(map[string]string),
 		workers:          int64(workers),
 	}
-	m.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error) {
-		return sw.RunContext(ctx, scenario.Params{}, m.pointParallelism, progress)
+	m.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, []scenario.FailedPoint, error) {
+		table, err := sw.RunContext(ctx, scenario.Params{}, m.pointParallelism, progress)
+		return table, nil, err
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for w := 0; w < workers; w++ {
@@ -367,7 +377,7 @@ func (m *jobManager) runJob(j *job) {
 	m.busy.Add(1)
 	defer m.busy.Add(-1)
 
-	table, err := m.runner(ctx, sw, func(done, total int) {
+	table, failures, err := m.runner(ctx, sw, func(done, total int) {
 		j.mu.Lock()
 		j.doc.Progress = JobProgress{Done: done, Total: total}
 		j.mu.Unlock()
@@ -389,9 +399,19 @@ func (m *jobManager) runJob(j *job) {
 	case err == nil:
 		j.doc.State = JobDone
 		j.doc.Result = result
+		j.doc.Failures = failures
 		j.doc.Progress.Done = j.doc.Progress.Total
 		hash := j.doc.Hash
 		j.mu.Unlock()
+		if len(failures) > 0 {
+			// A partial table is not the canonical content of the sweep
+			// hash: keep it servable under this job id, but never let it
+			// dedup a resubmission or persist as the hash's blob — the
+			// failed points deserve a fresh attempt.
+			m.dropHash(j)
+			m.partial.Add(1)
+			return
+		}
 		if m.store != nil {
 			// Write-through: the rendered sweep table becomes a durable
 			// blob, so the same grid never re-executes — not even after
@@ -500,6 +520,7 @@ type jobStats struct {
 	Cancelled  int64 `json:"jobs_cancelled"`
 	Pruned     int64 `json:"jobs_pruned"`
 	FromStore  int64 `json:"jobs_from_store"`
+	Partial    int64 `json:"jobs_partial"`
 	Dropped    int64 `json:"state_records_dropped"`
 	Queued     int64 `json:"jobs_queued"`
 	Running    int64 `json:"jobs_running"`
@@ -517,6 +538,7 @@ func (m *jobManager) stats() jobStats {
 		Deduped:   m.deduped.Load(),
 		Pruned:    m.pruned.Load(),
 		FromStore: m.fromStore.Load(),
+		Partial:   m.partial.Load(),
 		Dropped:   m.dropped.Load(),
 		Workers:   m.workers,
 		Busy:      m.busy.Load(),
@@ -555,23 +577,24 @@ type persistedState struct {
 // JSON): a json.RawMessage would be re-indented by the state encoder,
 // and restored results must serve the exact pre-restart bytes.
 type persistedJob struct {
-	ID       string         `json:"id"`
-	Hash     string         `json:"hash"`
-	State    JobState       `json:"state"`
-	Progress JobProgress    `json:"progress"`
-	Error    string         `json:"error,omitempty"`
-	Result   []byte         `json:"result,omitempty"`
-	Sweep    scenario.Sweep `json:"sweep"`
+	ID       string                 `json:"id"`
+	Hash     string                 `json:"hash"`
+	State    JobState               `json:"state"`
+	Progress JobProgress            `json:"progress"`
+	Error    string                 `json:"error,omitempty"`
+	Result   []byte                 `json:"result,omitempty"`
+	Failures []scenario.FailedPoint `json:"failures,omitempty"`
+	Sweep    scenario.Sweep         `json:"sweep"`
 }
 
 func toPersisted(doc JobDoc) persistedJob {
 	return persistedJob{ID: doc.ID, Hash: doc.Hash, State: doc.State, Progress: doc.Progress,
-		Error: doc.Error, Result: []byte(doc.Result), Sweep: doc.Sweep}
+		Error: doc.Error, Result: []byte(doc.Result), Failures: doc.Failures, Sweep: doc.Sweep}
 }
 
 func (p persistedJob) toDoc() JobDoc {
 	return JobDoc{ID: p.ID, Hash: p.Hash, State: p.State, Progress: p.Progress,
-		Error: p.Error, Result: json.RawMessage(p.Result), Sweep: p.Sweep}
+		Error: p.Error, Result: json.RawMessage(p.Result), Failures: p.Failures, Sweep: p.Sweep}
 }
 
 // saveState writes the job states to path atomically (tmp + rename).
@@ -664,7 +687,9 @@ func (m *jobManager) loadState(path string) error {
 		}
 		m.jobs[doc.ID] = j
 		m.order = append(m.order, doc.ID)
-		if j.doc.State != JobFailed && j.doc.State != JobCancelled {
+		if j.doc.State != JobFailed && j.doc.State != JobCancelled && len(j.doc.Failures) == 0 {
+			// Partial results never dedup: a resubmission must retry the
+			// quarantined points.
 			m.byHash[j.doc.Hash] = doc.ID
 		}
 		if enqueue {

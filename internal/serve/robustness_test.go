@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfishnet/internal/fabric"
+	"selfishnet/internal/scenario"
+)
+
+// TestMaxBodyBytesRejectsOversizedPosts: bodies past the MaxBodyBytes
+// cap get 413 on every POST endpoint, are counted in /metrics, and
+// small bodies keep working.
+func TestMaxBodyBytesRejectsOversizedPosts(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 512})
+	big := `{"metric": {"family": "line", "positions": [` + strings.Repeat("0,", 2000) + `0]}}`
+	for _, path := range []string{"/v1/run", "/v1/sweep"} {
+		resp, body := post(t, ts.URL+path, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with oversized body: %d %s, want 413", path, resp.StatusCode, body)
+		}
+	}
+	if m := s.Metrics(); m["body_too_large"] != 2 {
+		t.Errorf("body_too_large = %d, want 2", m["body_too_large"])
+	}
+	if resp, body := post(t, ts.URL+"/v1/run", runSpecBody); resp.StatusCode != http.StatusOK {
+		t.Errorf("small body after oversized ones: %d %s, want 200", resp.StatusCode, body)
+	}
+}
+
+// TestPartialFailureSurfacesInJobDoc drives a poisoned point through a
+// fabric-backed server: the job must finish done with the structured
+// failure report in its JobDoc, the partial result must carry the
+// quarantine notes, and — because a partial table is not the sweep
+// hash's canonical content — a resubmission must get a fresh job, not
+// a dedup hit.
+func TestPartialFailureSurfacesInJobDoc(t *testing.T) {
+	sw, err := scenario.ReadSweep(strings.NewReader(sweepBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sw.EnumeratePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poisonIdx = 2
+
+	coord := fabric.NewCoordinator(fabric.Config{Lease: 2 * time.Second})
+	s, ts := newTestServer(t, Config{Workers: 2, Fabric: coord})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := &fabric.Worker{
+			Client:      fabric.LocalClient{Coordinator: coord},
+			Parallelism: 1,
+			Poll:        5 * time.Millisecond,
+			RunPoint: func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+				if h, herr := spec.Hash(); herr == nil && h == pts[poisonIdx].Hash {
+					return scenario.PointResult{}, errors.New("synthetic poison")
+				}
+				return scenario.RunPoint(spec, measures, parallelism)
+			},
+		}
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); wg.Wait() })
+
+	doc := submitSweep(t, ts.URL, sweepBody())
+	final := waitJob(t, ts.URL, doc.ID)
+	if final.State != JobDone {
+		t.Fatalf("poisoned sweep settled as %s (%s), want done with failures", final.State, final.Error)
+	}
+	if len(final.Failures) != 1 {
+		t.Fatalf("JobDoc failures %+v, want exactly the poisoned point", final.Failures)
+	}
+	f := final.Failures[0]
+	if f.Index != poisonIdx || f.Attempts != 3 || !strings.Contains(f.Error, "synthetic poison") {
+		t.Errorf("failure report entry %+v", f)
+	}
+	if len(final.Result) == 0 {
+		t.Fatal("partial job served no result table")
+	}
+	if !strings.Contains(string(final.Result), "partial failure: 1 of 8 point(s) quarantined") {
+		t.Error("partial result table does not carry the quarantine note")
+	}
+	if m := s.Metrics(); m["jobs_partial"] != 1 {
+		t.Errorf("jobs_partial = %d, want 1", m["jobs_partial"])
+	}
+
+	// Resubmission: the partial job's hash must not dedup.
+	resp, body := post(t, ts.URL+"/v1/sweep", sweepBody())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmission after partial failure: %d %s, want 202 (fresh job)", resp.StatusCode, body)
+	}
+	var doc2 JobDoc
+	if err := json.Unmarshal(body, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc2.ID == doc.ID {
+		t.Error("partial job deduped a resubmission; quarantined points never get retried")
+	}
+	// Let the second job settle so shutdown does not race it.
+	if final2 := waitJob(t, ts.URL, doc2.ID); final2.State != JobDone {
+		t.Fatalf("resubmitted job settled as %s (%s)", final2.State, final2.Error)
+	}
+}

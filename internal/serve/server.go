@@ -58,6 +58,10 @@ type Config struct {
 	// restores them in New (interrupted jobs re-enqueue; done jobs keep
 	// serving their results).
 	StatePath string
+	// MaxBodyBytes bounds every request body (http.MaxBytesReader);
+	// oversized posts are rejected with 413 and counted in /metrics as
+	// body_too_large. Values ≤ 0 select the default of 1 MiB.
+	MaxBodyBytes int64
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -74,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -86,8 +93,9 @@ type Server struct {
 	jobs  *jobManager
 	mux   *http.ServeMux
 
-	runsTotal atomic.Int64
-	runErrors atomic.Int64
+	runsTotal    atomic.Int64
+	runErrors    atomic.Int64
+	bodyTooLarge atomic.Int64
 }
 
 // New builds a Server (restoring persisted job state when
@@ -101,15 +109,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.jobs.store = cfg.Store
 	if cfg.Fabric != nil {
-		s.jobs.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, error) {
+		s.jobs.runner = func(ctx context.Context, sw scenario.Sweep, progress func(done, total int)) (*export.Table, []scenario.FailedPoint, error) {
 			j, err := cfg.Fabric.Submit(sw, scenario.Params{}, 0, progress)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			// Wait cancels the fabric job on ctx cancellation and
 			// returns context.Canceled, so the job manager's existing
-			// cancel/drain handling applies unchanged.
-			return j.Wait(ctx)
+			// cancel/drain handling applies unchanged. Failures carries
+			// the quarantine report of a partially-failed job.
+			table, err := j.Wait(ctx)
+			return table, j.Failures(), err
 		}
 	}
 	if cfg.StatePath != "" {
@@ -141,8 +151,18 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler for the /v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for the /v1 API. Every request body
+// is capped at Config.MaxBodyBytes before it reaches a handler, so no
+// POST — spec, sweep, or shard result — can balloon memory; handlers
+// surface the overflow as 413.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Close gracefully shuts the server down: job intake stops, in-flight
 // jobs drain (until ctx expires, after which they are cancelled and
@@ -168,6 +188,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorDoc{Error: err.Error()})
+}
+
+// bodyError maps a request-body read/decode failure to its response:
+// 413 (counted as body_too_large) when the MaxBodyBytes cap tripped,
+// 400 otherwise.
+func (s *Server) bodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.bodyTooLarge.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeDoc(w http.ResponseWriter, status int, doc any) {
@@ -234,7 +267,7 @@ func (s *Server) runCached(spec scenario.Spec) ([]byte, string, bool, error) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	spec, err := scenario.ReadSpec(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	if err := requestOverrides(r, &spec); err != nil {
@@ -277,7 +310,7 @@ func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		// An empty body is the zero request: the whole catalog at paper
 		// defaults (`curl -X POST .../v1/runall` with no -d).
-		writeError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	ids := req.IDs
@@ -334,7 +367,7 @@ func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sw, err := scenario.ReadSweep(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	if err := requestOverrides(r, &sw.Base); err != nil {
@@ -454,7 +487,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	var req fabric.RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	info := s.cfg.Fabric.Register(req.Name)
@@ -496,11 +529,11 @@ func (s *Server) handleShardNext(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 	var req fabric.CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	err := s.cfg.Fabric.CompleteShard(req.WorkerID, r.PathValue("id"),
-		fabric.ShardResult{Results: req.Results, Error: req.Error})
+		fabric.ShardResult{Results: req.Results, Error: req.Error, ErrorIndex: req.ErrorIndex})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -526,8 +559,9 @@ type metricsDoc struct {
 	jobStats
 	*fabric.Counters
 	*cas.Stats
-	RunsTotal int64 `json:"runs_total"`
-	RunErrors int64 `json:"run_errors"`
+	RunsTotal    int64 `json:"runs_total"`
+	RunErrors    int64 `json:"run_errors"`
+	BodyTooLarge int64 `json:"body_too_large"`
 }
 
 // Metrics returns the current counter snapshot (also served as JSON by
@@ -548,10 +582,11 @@ func (s *Server) Metrics() map[string]int64 {
 
 func (s *Server) metricsDoc() metricsDoc {
 	doc := metricsDoc{
-		cacheStats: s.cache.stats(),
-		jobStats:   s.jobs.stats(),
-		RunsTotal:  s.runsTotal.Load(),
-		RunErrors:  s.runErrors.Load(),
+		cacheStats:   s.cache.stats(),
+		jobStats:     s.jobs.stats(),
+		RunsTotal:    s.runsTotal.Load(),
+		RunErrors:    s.runErrors.Load(),
+		BodyTooLarge: s.bodyTooLarge.Load(),
 	}
 	if s.cfg.Fabric != nil {
 		st := s.cfg.Fabric.Stats()
