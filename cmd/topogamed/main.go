@@ -24,10 +24,20 @@
 //
 //	topogamed -addr :8080 -fabric -fabric-workers 2 -cas /var/tmp/topocas
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
-// in-flight jobs drain (bounded by -drain-timeout, after which they
-// are cancelled at the next grid-point boundary), and job states
-// persist to -state for the next start.
+// Overload behavior: -run-concurrency bounds concurrent synchronous
+// /v1/run evaluations with a FIFO wait queue of -run-queue behind it
+// (saturation answers 429 + Retry-After; cache hits always flow),
+// -run-timeout puts a per-request deadline on each evaluation (exceeded
+// runs answer 504; clients may tighten it per request with
+// X-Run-Deadline-Ms), and /healthz reports the load level
+// (ok|degraded|shedding) — when degraded, expensive specs are shed
+// first so cheap work keeps flowing.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops (new
+// submissions get 503 + Retry-After), the listener stops, in-flight
+// jobs drain (bounded by -drain-timeout, after which they are
+// cancelled at the next grid-point boundary), and job states persist
+// to -state for the next start.
 package main
 
 import (
@@ -81,6 +91,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	shardPoints := fs.Int("shard-points", 8, "target grid points per fabric shard")
 	retryBudget := fs.Int("fabric-retry-budget", 3, "failed attempts per grid point before quarantine")
 	maxBodyBytes := fs.Int64("max-body-bytes", 1<<20, "max request body size (413 beyond it)")
+	runTimeout := fs.Duration("run-timeout", 0, "per-request deadline for synchronous /v1/run evaluations (0 = none; exceeded runs answer 504)")
+	runConcurrency := fs.Int("run-concurrency", 4, "max concurrent /v1/run evaluations (cache hits are unbounded)")
+	runQueue := fs.Int("run-queue", 8, "FIFO wait queue behind -run-concurrency (beyond it: 429 + Retry-After)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +135,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Store:            store,
 		Fabric:           coord,
 		MaxBodyBytes:     *maxBodyBytes,
+		RunTimeout:       *runTimeout,
+		RunConcurrency:   *runConcurrency,
+		RunQueueDepth:    *runQueue,
 	})
 	if err != nil {
 		return err
@@ -180,6 +196,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	log.Printf("topogamed: shutting down (drain timeout %s)", *drainTimeout)
+	// Stop intake first: requests that race the listener drain get 503 +
+	// Retry-After instead of starting fresh work; in-flight requests and
+	// jobs keep draining below.
+	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

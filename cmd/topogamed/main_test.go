@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -228,4 +230,80 @@ func getJSON(t *testing.T, url string) map[string]any {
 		t.Fatalf("decoding %s: %v", b, err)
 	}
 	return doc
+}
+
+// TestOverloadSmoke is the CI overload smoke: a burst of concurrent
+// /v1/run clients against a daemon with a one-slot admission gate must
+// produce only 200s and 429s (Retry-After on every 429), a cached
+// re-read must still flow, and the SIGTERM-equivalent drain must
+// complete cleanly afterwards.
+func TestOverloadSmoke(t *testing.T) {
+	base, shutdown := startServer(t,
+		"-workers", "1", "-run-concurrency", "1", "-run-queue", "1")
+
+	spec := func(seed int) string {
+		return `{"metric": {"family": "uniform", "n": 8}, "game": {"alpha": 2}, "quick": true, "seed": ` +
+			strconv.Itoa(seed) + `}`
+	}
+
+	const clients = 8
+	statuses := make(chan int, clients)
+	var burst sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		burst.Add(1)
+		go func(c int) {
+			defer burst.Done()
+			<-start
+			resp, err := http.Post(base+"/v1/run", "application/json",
+				strings.NewReader(spec(c)))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests &&
+				resp.Header.Get("Retry-After") == "" {
+				statuses <- -2
+				return
+			}
+			statuses <- resp.StatusCode
+		}(c)
+	}
+	close(start)
+	burst.Wait()
+	close(statuses)
+
+	ok := 0
+	for st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+		case -2:
+			t.Error("429 without Retry-After")
+		default:
+			t.Fatalf("burst got status %d, want only 200 or 429", st)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("burst produced no successful responses")
+	}
+
+	// A spec that succeeded is now cached; a re-read must hit even
+	// though the gate was just saturated.
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst cached read: %d, want 200", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown after overload: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -81,6 +82,14 @@ type Result struct {
 // rejoins, the full game stabilizes). Deterministic in Seed at any
 // evaluator-pool width.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked
+// before every churn event and before the tail stabilization, so a
+// deadline or disconnect lands mid-run, and the error is ctx.Err()
+// verbatim. An unfired context leaves the result byte-identical to Run.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Instance == nil {
 		return Result{}, errors.New("churn: nil instance")
 	}
@@ -122,6 +131,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Rate > 0 {
 		now := 0.0
 		for {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			now += r.Exp(cfg.Rate * float64(n))
 			if now > cfg.Duration {
 				break
@@ -181,6 +193,9 @@ func Run(cfg Config) (Result, error) {
 	// Rate→0 tail: every offline peer rejoins, then the full game
 	// stabilizes. Under the exact oracle a converged tail certifies the
 	// final profile as a pure Nash equilibrium.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	for v := 0; v < n; v++ {
 		if !e.Online(v) {
 			if _, err := e.Join(v); err != nil {

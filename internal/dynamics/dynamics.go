@@ -15,6 +15,7 @@
 package dynamics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -298,6 +299,15 @@ var ErrNoProgress = errors.New("dynamics: selected peer has no improving deviati
 // Trajectories are therefore byte-identical to Config.ForceFresh runs
 // (asserted by the differential tests in incremental_test.go).
 func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+	return RunContext(context.Background(), ev, start, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked once
+// per dynamics step, so a deadline or disconnect lands mid-run instead
+// of at run boundaries, and the error is ctx.Err() verbatim. A context
+// that never fires leaves the trajectory byte-identical to Run — the
+// checkpoint only ever returns early, it never perturbs state.
+func RunContext(ctx context.Context, ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 	n := ev.Instance().N()
 	if start.N() != n {
 		return Result{}, fmt.Errorf("dynamics: start profile has %d peers, instance has %d", start.N(), n)
@@ -324,9 +334,9 @@ func Run(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 		defer ev.AttachPool(nil)
 	}
 	if cfg.ForceFresh || (!cfg.ForceIncremental && n < IncrementalMinPeers) {
-		return runFresh(ev, start, cfg)
+		return runFresh(ctx, ev, start, cfg)
 	}
-	return runIncremental(ev, start, cfg)
+	return runIncremental(ctx, ev, start, cfg)
 }
 
 // BatchParallelMinPeers is the default size threshold for intra-step
@@ -412,7 +422,7 @@ func (ct *cycleTracker) observe(snap core.Profile, state uint64, step int) (int,
 // runFresh is the from-scratch engine: per-step caches only, cleared
 // wholesale after every applied move. It is the reference the
 // incremental engine is differentially tested against.
-func runFresh(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+func runFresh(ctx context.Context, ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 	n := ev.Instance().N()
 	p := start.Clone()
 	res := Result{}
@@ -464,6 +474,9 @@ func runFresh(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error
 	}
 
 	for step := 0; step < cfg.MaxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if cfg.DetectCycles {
 			cl := snap
 			if !haveSnap {
@@ -523,7 +536,7 @@ func runFresh(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error
 // DynEval's maintained rows (the same floating-point fixpoint a fresh
 // SSSP computes), and a cached best response is only reused while the
 // peer's deviation environment is provably untouched.
-func runIncremental(ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
+func runIncremental(ctx context.Context, ev *core.Evaluator, start core.Profile, cfg Config) (Result, error) {
 	n := ev.Instance().N()
 	p := start.Clone()
 	dy, err := core.NewDynEval(ev, p)
@@ -598,6 +611,9 @@ func runIncremental(ev *core.Evaluator, start core.Profile, cfg Config) (Result,
 	}
 
 	for step := 0; step < cfg.MaxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		curStep = step
 		if cfg.DetectCycles {
 			cl := snap
@@ -768,16 +784,24 @@ func RandomProfile(r *rng.RNG, n int, q float64) core.Profile {
 // returned error is the lowest-index replica failure, matching what a
 // sequential loop would have reported first.
 func Replicas(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
+	return ReplicasContext(context.Background(), ev, cfg, runs, linkProb, r)
+}
+
+// ReplicasContext is Replicas with cooperative cancellation: ctx is
+// threaded into every replica's RunContext, so a deadline or disconnect
+// interrupts the fan-out mid-step on whichever replicas are running.
+// An unfired context leaves the results byte-identical to Replicas.
+func ReplicasContext(ctx context.Context, ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("dynamics: runs = %d, want > 0", runs)
 	}
 	if r == nil {
 		return nil, errors.New("dynamics: Replicas needs an RNG")
 	}
-	return replicaRuns(ev, cfg, runs, linkProb, r)
+	return replicaRuns(ctx, ev, cfg, runs, linkProb, r)
 }
 
-func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
+func replicaRuns(ctx context.Context, ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng.RNG) ([]Result, error) {
 	n := ev.Instance().N()
 	type replica struct {
 		cfg   Config
@@ -830,7 +854,7 @@ func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *
 			defer ev.AttachPool(nil)
 		}
 		for k := range reps {
-			results[k], errs[k] = Run(ev, reps[k].start, reps[k].cfg)
+			results[k], errs[k] = RunContext(ctx, ev, reps[k].start, reps[k].cfg)
 		}
 	} else {
 		var next atomic.Int64
@@ -845,7 +869,7 @@ func replicaRuns(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *
 					if k >= runs {
 						return
 					}
-					results[k], errs[k] = Run(wev, reps[k].start, reps[k].cfg)
+					results[k], errs[k] = RunContext(ctx, wev, reps[k].start, reps[k].cfg)
 				}
 			}()
 		}
@@ -870,7 +894,7 @@ func Converge(ev *core.Evaluator, cfg Config, runs int, linkProb float64, r *rng
 	if r == nil {
 		return ConvergenceStats{}, errors.New("dynamics: Converge needs an RNG")
 	}
-	results, err := replicaRuns(ev, cfg, runs, linkProb, r)
+	results, err := replicaRuns(context.Background(), ev, cfg, runs, linkProb, r)
 	if err != nil {
 		return ConvergenceStats{}, err
 	}
@@ -917,7 +941,7 @@ func WorstEquilibrium(ev *core.Evaluator, cfg Config, runs int, linkProb float64
 	if runs <= 0 {
 		return core.Profile{}, core.Cost{}, 0, false, nil
 	}
-	results, err := replicaRuns(ev, cfg, runs, linkProb, r)
+	results, err := replicaRuns(context.Background(), ev, cfg, runs, linkProb, r)
 	if err != nil {
 		return core.Profile{}, core.Cost{}, 0, false, err
 	}

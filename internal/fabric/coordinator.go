@@ -144,11 +144,20 @@ type Job struct {
 	remaining int
 	executed  int
 	fromStore int
-	progress  func(done, total int)
 	table     *export.Table
 	err       error
 	finished  bool
 	done      chan struct{}
+
+	// progress is guarded by progressMu, not mu: every invocation holds
+	// progressMu for its whole duration, and the finishing transitions
+	// (finalize, failJob, Cancel) detach the callback under progressMu
+	// before closing done — so once Wait returns, no invocation is in
+	// flight and none can start. Without the detach, a straggling shard
+	// completion could fire the callback after Wait returned on
+	// cancellation (the progress-after-return race).
+	progressMu sync.Mutex
+	progress   func(done, total int)
 
 	// Retry/quarantine bookkeeping: failed execution attempts per grid
 	// point, attempts not attributable to a point, the quarantine
@@ -491,14 +500,11 @@ func (c *Coordinator) poison(j *Job, pt scenario.Point, errMsg string, attempts 
 	j.remaining--
 	j.failures = append(j.failures, scenario.FailedPoint{Index: pt.Index, Hash: pt.Hash, Error: errMsg, Attempts: attempts})
 	done, total := len(j.filled)-j.remaining, len(j.filled)
-	progress := j.progress
 	j.mu.Unlock()
 	c.mu.Lock()
 	c.counters.PointsPoisoned++
 	c.mu.Unlock()
-	if progress != nil {
-		progress(done, total)
-	}
+	j.notifyProgress(done, total)
 }
 
 // requeue schedules points for another attempt as a fresh shard at the
@@ -592,8 +598,9 @@ func (c *Coordinator) failJob(j *Job, err error) {
 	}
 	j.err = err
 	j.finished = true
-	close(j.done)
 	j.mu.Unlock()
+	j.detachProgress()
+	close(j.done)
 	c.mu.Lock()
 	c.counters.JobsFailed++
 	c.mu.Unlock()
@@ -610,8 +617,9 @@ func (c *Coordinator) Cancel(j *Job) {
 	}
 	j.err = context.Canceled
 	j.finished = true
-	close(j.done)
 	j.mu.Unlock()
+	j.detachProgress()
+	close(j.done)
 	c.mu.Lock()
 	c.counters.JobsCancelled++
 	c.mu.Unlock()
@@ -669,7 +677,6 @@ func (j *Job) fill(index int, res scenario.PointResult, executed bool) bool {
 		j.fromStore++
 	}
 	done, total := len(j.filled)-j.remaining, len(j.filled)
-	progress := j.progress
 	j.mu.Unlock()
 
 	j.coord.mu.Lock()
@@ -679,10 +686,27 @@ func (j *Job) fill(index int, res scenario.PointResult, executed bool) bool {
 		j.coord.counters.PointsFromStore++
 	}
 	j.coord.mu.Unlock()
-	if progress != nil {
-		progress(done, total)
-	}
+	j.notifyProgress(done, total)
 	return true
+}
+
+// notifyProgress invokes the job's progress callback, serialized under
+// progressMu so detachProgress can wait out an in-flight call.
+func (j *Job) notifyProgress(done, total int) {
+	j.progressMu.Lock()
+	defer j.progressMu.Unlock()
+	if j.progress != nil {
+		j.progress(done, total)
+	}
+}
+
+// detachProgress drops the progress callback, blocking until any
+// in-flight invocation completes. The finishing transitions call it
+// before closing done, so no callback fires after Wait returns.
+func (j *Job) detachProgress() {
+	j.progressMu.Lock()
+	j.progress = nil
+	j.progressMu.Unlock()
 }
 
 // finalize assembles the sweep table once every slot is filled. A job
@@ -707,8 +731,9 @@ func (j *Job) finalize() {
 	}
 	j.table, j.err = table, err
 	j.finished = true
-	close(j.done)
 	j.mu.Unlock()
+	j.detachProgress()
+	close(j.done)
 	j.coord.mu.Lock()
 	if err == nil {
 		j.coord.counters.JobsDone++

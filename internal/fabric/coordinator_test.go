@@ -249,12 +249,12 @@ func poisonedWorker(failLimit int, hashes ...string) *Worker {
 	fails := 0
 	return &Worker{
 		Parallelism: 1,
-		RunPoint: func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+		RunPoint: func(ctx context.Context, spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
 			if h, err := spec.Hash(); err == nil && bad[h] && (failLimit <= 0 || fails < failLimit) {
 				fails++
 				return scenario.PointResult{}, errors.New("synthetic poison")
 			}
-			return scenario.RunPoint(spec, measures, parallelism)
+			return scenario.RunPointContext(ctx, spec, measures, parallelism)
 		},
 	}
 }

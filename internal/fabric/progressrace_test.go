@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"selfishnet/internal/scenario"
+)
+
+// TestJobNoProgressAfterWait pins the callback join contract: once
+// Job.Wait returns — by completion or by cancellation racing in-flight
+// CompleteShard calls — no progress invocation can still be running or
+// start later. The callback and the post-Wait code both write the same
+// unsynchronized sentinel, so any straggler is a data race under -race.
+// The hammer loop exists because the pre-fix window (fill/poison read
+// the callback, then invoke it after Wait returned) is a few
+// instructions wide and cannot be hit deterministically.
+func TestJobNoProgressAfterWait(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		c := NewCoordinator(Config{ShardPoints: 1})
+		sentinel := 0
+		var fired sync.WaitGroup
+		fired.Add(1)
+		var once sync.Once
+		j, err := c.Submit(testSweep(), scenario.Params{}, 0, func(done, total int) {
+			sentinel++
+			once.Do(fired.Done)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A worker races shard completions against the cancellation
+		// below: some CompleteShard calls land after Cancel has run.
+		var worker sync.WaitGroup
+		worker.Add(1)
+		go func() {
+			defer worker.Done()
+			w := c.Register("racer")
+			for {
+				shard, err := c.NextShard(w.ID)
+				if err != nil || shard == nil {
+					return
+				}
+				res := (&Worker{Parallelism: 1}).execute(context.Background(), shard)
+				if c.CompleteShard(w.ID, shard.ID, res) != nil {
+					return
+				}
+			}
+		}()
+
+		fired.Wait() // at least one point done: completions are in flight
+		c.Cancel(j)
+		if _, err := j.Wait(context.Background()); err == nil && i%2 == 0 {
+			// Completion can beat the cancel; both outcomes are valid.
+			_ = err
+		}
+		sentinel = -1 // races with any straggler callback under -race
+		worker.Wait()
+		_ = sentinel
+	}
+}

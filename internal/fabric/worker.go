@@ -27,7 +27,7 @@ type Worker struct {
 	// Name labels the worker in coordinator logs ("" is fine).
 	Name string
 	// Parallelism is the per-point engine parallelism passed to
-	// scenario.RunPoint (0 = GOMAXPROCS).
+	// scenario.RunPointContext (0 = GOMAXPROCS).
 	Parallelism int
 	// Poll is the idle re-poll interval when the shard queue is empty
 	// (default 50ms).
@@ -35,11 +35,12 @@ type Worker struct {
 	// Logf, when non-nil, receives operational events (registration,
 	// transient errors). The fabric never logs on its own.
 	Logf func(format string, args ...any)
-	// RunPoint, when non-nil, replaces scenario.RunPoint as the
+	// RunPoint, when non-nil, replaces scenario.RunPointContext as the
 	// per-point execution function — the seam chaos tests use to inject
 	// deterministic point failures and panics. Production code leaves
-	// it nil.
-	RunPoint func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error)
+	// it nil. ctx is the worker's run context: shutdown cancels it, and
+	// implementations should honor it so a stop lands mid-point.
+	RunPoint func(ctx context.Context, spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error)
 }
 
 // heartbeatFailLimit is how many consecutive heartbeat transport
@@ -182,7 +183,7 @@ func (w *Worker) execute(ctx context.Context, shard *Shard) ShardResult {
 		if err := ctx.Err(); err != nil {
 			return ShardResult{Results: results, Error: err.Error(), ErrorIndex: pt.Index}
 		}
-		res, err := w.runPoint(pt.Spec, shard.Measures)
+		res, err := w.runPoint(ctx, pt.Spec, shard.Measures)
 		if err != nil {
 			return ShardResult{Results: results, Error: fmt.Sprintf("point %d: %v", pt.Index, err), ErrorIndex: pt.Index}
 		}
@@ -194,7 +195,7 @@ func (w *Worker) execute(ctx context.Context, shard *Shard) ShardResult {
 // runPoint executes one grid point through the RunPoint seam,
 // recovering a panic into an error so a poisoned spec takes down one
 // shard attempt, not the whole worker process.
-func (w *Worker) runPoint(spec scenario.Spec, measures []string) (res scenario.PointResult, err error) {
+func (w *Worker) runPoint(ctx context.Context, spec scenario.Spec, measures []string) (res scenario.PointResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -202,9 +203,9 @@ func (w *Worker) runPoint(spec scenario.Spec, measures []string) (res scenario.P
 	}()
 	run := w.RunPoint
 	if run == nil {
-		run = scenario.RunPoint
+		run = scenario.RunPointContext
 	}
-	return run(spec, measures, w.Parallelism)
+	return run(ctx, spec, measures, w.Parallelism)
 }
 
 // sleepCtx sleeps d unless ctx ends first, reporting whether the full

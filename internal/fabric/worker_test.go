@@ -302,7 +302,7 @@ func TestExecuteRecoversPanics(t *testing.T) {
 	}
 	w := &Worker{
 		Parallelism: 1,
-		RunPoint: func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+		RunPoint: func(ctx context.Context, spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
 			panic("kaboom")
 		},
 	}

@@ -27,6 +27,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -222,7 +223,7 @@ const (
 // RunPoint is a drop-in for the fabric.Worker RunPoint seam: it
 // injects the plan's per-point errors, panics and poison before
 // delegating healthy attempts to the real scenario engine.
-func (in *Injector) RunPoint(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+func (in *Injector) RunPoint(ctx context.Context, spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
 	switch in.pointFault(spec) {
 	case faultPanic:
 		panic("faultinject: injected panic")
@@ -231,7 +232,7 @@ func (in *Injector) RunPoint(spec scenario.Spec, measures []string, parallelism 
 	case faultPoison:
 		return scenario.PointResult{}, fmt.Errorf("%w: poisoned point", ErrInjected)
 	}
-	return scenario.RunPoint(spec, measures, parallelism)
+	return scenario.RunPointContext(ctx, spec, measures, parallelism)
 }
 
 // pointFault decides one execution attempt's fate. Poisoned points

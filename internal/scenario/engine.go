@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -67,6 +68,11 @@ func KnownMeasure(name string) bool {
 // lazy caches so each expensive quantity is computed at most once no
 // matter how many measures reference it.
 type outcome struct {
+	// ctx carries the request's cancellation into the lazily executed
+	// phases (the churn run fires at measure-render time, after
+	// runDeclarative returned). Always non-nil; Background when the
+	// caller has no deadline.
+	ctx     context.Context
 	spec    Spec
 	seed    uint64
 	inst    *core.Instance
@@ -113,7 +119,7 @@ func (o *outcome) churnResult() (churn.Result, error) {
 				return churn.Result{}, err
 			}
 		}
-		res, err := churn.Run(churn.Config{
+		res, err := churn.RunContext(o.ctx, churn.Config{
 			Instance:    o.inst,
 			Start:       o.chosen,
 			Rate:        o.spec.Churn.Rate,
@@ -156,7 +162,7 @@ func (o *outcome) topoStats() (analysis.TopologyStats, error) {
 // exactly one place and a spec executes identically to its canonical
 // form — the invariant the serve layer's content-addressed cache rests
 // on.
-func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
+func runDeclarative(ctx context.Context, spec Spec, parallelism int) (*outcome, error) {
 	spec = spec.Normalize()
 	seed := spec.Seed
 	r := rng.New(seed)
@@ -201,14 +207,14 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 		ForceIncremental: forceIncremental,
 	}
 
-	out := &outcome{spec: spec, seed: seed, inst: inst, ev: ev, churnWorkers: parallelism}
+	out := &outcome{ctx: ctx, spec: spec, seed: seed, inst: inst, ev: ev, churnWorkers: parallelism}
 	if runs == 1 {
 		start, err := spec.Start.Build(inst.N(), r)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Rand = r.Split()
-		res, err := dynamics.Run(ev, start, cfg)
+		res, err := dynamics.RunContext(ctx, ev, start, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +229,7 @@ func runDeclarative(spec Spec, parallelism int) (*outcome, error) {
 	// density LinkProb (made explicit by Normalize), exactly like the
 	// Converge/WorstEquilibrium drivers (bit-identical at every
 	// parallelism width).
-	results, err := dynamics.Replicas(ev, cfg, runs, spec.Dynamics.LinkProb, r)
+	results, err := dynamics.ReplicasContext(ctx, ev, cfg, runs, spec.Dynamics.LinkProb, r)
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +410,18 @@ func (o *outcome) row(measures []string) ([]string, error) {
 // Params.Parallelism is the internal fan-out width and never changes
 // results.
 func RunSpec(spec Spec, p Params) (*export.Table, error) {
+	return RunSpecContext(context.Background(), spec, p)
+}
+
+// RunSpecContext is RunSpec with cooperative cancellation: ctx reaches
+// every dynamics step and churn event of a declarative spec, so a
+// deadline or client disconnect aborts the evaluation mid-run and the
+// returned error unwraps to ctx.Err(). A context that never fires
+// leaves the rendered table byte-identical to RunSpec (the house `==`
+// convention — pinned by TestRunSpecContextUnfiredByteIdentical).
+// Native experiment runners do not take a context; they only observe a
+// pre-cancelled ctx before dispatch.
+func RunSpecContext(ctx context.Context, spec Spec, p Params) (*export.Table, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -415,13 +433,16 @@ func RunSpec(spec Spec, p Params) (*export.Table, error) {
 		eff.Quick = true
 	}
 	if eff.Experiment != "" {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		native, err := nativeRunner(eff.Experiment)
 		if err != nil {
 			return nil, err
 		}
 		return native(Params{Seed: eff.Seed, Quick: eff.Quick, Parallelism: p.Parallelism})
 	}
-	out, err := runDeclarative(eff, p.Parallelism)
+	out, err := runDeclarative(ctx, eff, p.Parallelism)
 	if err != nil {
 		return nil, err
 	}

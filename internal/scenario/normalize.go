@@ -147,6 +147,29 @@ func (s Spec) Normalize() Spec {
 	return out
 }
 
+// ExperimentCost is the CostEstimate assigned to native experiment
+// specs: their runners choose their own replica counts and step
+// budgets, so the serve layer treats them as uniformly expensive for
+// admission purposes (comparable to a large declarative run).
+const ExperimentCost int64 = 4 << 20
+
+// CostEstimate is a cheap admission-control proxy for how much work
+// the spec is: peers × replicas × step budget of the normalized spec
+// (so quick-mode trims are reflected), or ExperimentCost for native
+// experiment specs. It is deliberately crude — a watermark for load
+// shedding, not a scheduler — and never affects results.
+func (s Spec) CostEstimate() int64 {
+	n := s.Normalize()
+	if n.Experiment != "" {
+		return ExperimentCost
+	}
+	runs := n.Dynamics.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	return int64(n.Metric.PeerCount()) * int64(runs) * int64(n.Dynamics.MaxSteps)
+}
+
 // CanonicalJSON returns the compact JSON encoding of the normalized
 // spec — the content-addressing key material used by Hash.
 func (s Spec) CanonicalJSON() ([]byte, error) {

@@ -213,7 +213,16 @@ type PointResult struct {
 // them to Assemble reproduces Sweep.Run byte-for-byte — the invariant
 // the distributed fabric's reassembly rests on.
 func RunPoint(spec Spec, measures []string, parallelism int) (PointResult, error) {
-	out, err := runDeclarative(spec, parallelism)
+	return RunPointContext(context.Background(), spec, measures, parallelism)
+}
+
+// RunPointContext is RunPoint with cooperative cancellation: ctx
+// reaches every dynamics step and churn event of the point, so sweep
+// cancellation and worker shutdown land mid-point instead of at grid
+// boundaries. An unfired context leaves the row byte-identical to
+// RunPoint.
+func RunPointContext(ctx context.Context, spec Spec, measures []string, parallelism int) (PointResult, error) {
+	out, err := runDeclarative(ctx, spec, parallelism)
 	if err != nil {
 		return PointResult{}, err
 	}
@@ -346,13 +355,16 @@ func (sw Sweep) Run(p Params, parallelism int) (*export.Table, error) {
 
 // RunContext is Run with cooperative cancellation and progress
 // reporting, the entry point of the serve layer's async sweep jobs.
-// ctx is checked between grid points: on cancellation, points already
-// started run to completion (drain semantics) and the error is
-// ctx.Err(). progress, when non-nil, is called after each completed
-// point with the number of finished points and the grid size; calls
-// are serialized but arrive in completion order, not grid order.
-// Neither ctx nor progress affects the result table: a run that
-// completes is byte-identical to Run at any parallelism width.
+// ctx is checked between grid points and threaded into each point
+// (RunPointContext), so cancellation lands mid-point: in-flight points
+// abort at their next dynamics step and the error is ctx.Err().
+// progress, when non-nil, is called after each completed point with
+// the number of finished points and the grid size; calls are
+// serialized, arrive in completion order (not grid order), and all
+// workers are joined before RunContext returns — no call fires after
+// it returns, even on cancellation. Neither ctx nor progress affects
+// the result table: a run that completes is byte-identical to Run at
+// any parallelism width.
 func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progress func(done, total int)) (*export.Table, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
@@ -373,7 +385,7 @@ func (sw Sweep) RunContext(ctx context.Context, p Params, parallelism int, progr
 		if p.Quick {
 			spec.Quick = true
 		}
-		results[i], errs[i] = RunPoint(spec, measures, inner)
+		results[i], errs[i] = RunPointContext(ctx, spec, measures, inner)
 		if errs[i] != nil {
 			return
 		}
@@ -422,7 +434,7 @@ func (sw Sweep) RunPartialContext(ctx context.Context, p Params, parallelism int
 		if p.Quick {
 			spec.Quick = true
 		}
-		results[i], errs[i] = RunPoint(spec, measures, inner)
+		results[i], errs[i] = RunPointContext(ctx, spec, measures, inner)
 		if progress != nil {
 			progressMu.Lock()
 			finished++
@@ -432,6 +444,11 @@ func (sw Sweep) RunPartialContext(ctx context.Context, p Params, parallelism int
 	})
 	if !complete {
 		return nil, nil, fmt.Errorf("scenario: sweep %q: %w", sw.Name, ctx.Err())
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancellation that lands mid-point after every index was
+		// claimed: report it as cancellation, not as quarantined points.
+		return nil, nil, fmt.Errorf("scenario: sweep %q: %w", sw.Name, err)
 	}
 	var failed []FailedPoint
 	for i, err := range errs {

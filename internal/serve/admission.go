@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Load levels reported by /healthz and consulted by the brownout
+// ladder. The level is derived from the /v1/run admission gate's
+// occupancy (and from the draining flag): ok means slots are free or
+// the wait queue is shallow, degraded means the queue is at or past
+// its half-full watermark (expensive specs are shed), shedding means
+// the queue is full (every cache miss is rejected; only cached reads
+// flow).
+const (
+	levelOK       = "ok"
+	levelDegraded = "degraded"
+	levelShedding = "shedding"
+)
+
+// errSaturated is returned by admitter.acquire when both the in-flight
+// slots and the FIFO wait queue are full; handlers map it to 429 +
+// Retry-After.
+var errSaturated = errors.New("serve: run capacity saturated")
+
+// admitter is the /v1/run admission gate: a bounded in-flight
+// semaphore with a small FIFO wait queue. A request either gets a slot
+// immediately, waits its turn in arrival order, or — when the queue is
+// full — is rejected with errSaturated so the handler can answer 429
+// instead of queueing without bound. Cache hits never pass through the
+// admitter, so cheap cached reads keep flowing at any load.
+type admitter struct {
+	limit   int
+	waitCap int
+
+	mu       sync.Mutex
+	inflight int
+	waiters  []chan struct{} // FIFO; a closed channel hands over a slot
+}
+
+func newAdmitter(limit, waitCap int) *admitter {
+	return &admitter{limit: limit, waitCap: waitCap}
+}
+
+// acquire claims an in-flight slot, waiting FIFO behind earlier
+// arrivals. It returns a release function (idempotent) on success,
+// errSaturated when the wait queue is full, or ctx.Err() when the
+// caller gave up while waiting.
+func (a *admitter) acquire(ctx context.Context) (func(), error) {
+	a.mu.Lock()
+	if a.inflight < a.limit {
+		a.inflight++
+		a.mu.Unlock()
+		return a.releaseOnce(), nil
+	}
+	if len(a.waiters) >= a.waitCap {
+		a.mu.Unlock()
+		return nil, errSaturated
+	}
+	ch := make(chan struct{})
+	a.waiters = append(a.waiters, ch)
+	a.mu.Unlock()
+
+	select {
+	case <-ch:
+		// release handed us its slot: inflight was left unchanged.
+		return a.releaseOnce(), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, w := range a.waiters {
+			if w == ch {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Not on the queue anymore: a release closed our channel
+		// concurrently and transferred the slot. Give it back.
+		a.release()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseOnce wraps release so double-releasing (defer plus explicit)
+// cannot corrupt the counts.
+func (a *admitter) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(a.release) }
+}
+
+// release frees one slot: the FIFO head inherits it directly (the
+// in-flight count stays constant), or the count drops when nobody
+// waits.
+func (a *admitter) release() {
+	a.mu.Lock()
+	if len(a.waiters) > 0 {
+		ch := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.mu.Unlock()
+		close(ch)
+		return
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// level maps the gate's occupancy to the load level: shedding once the
+// wait queue is full, degraded once it reaches the half-full
+// watermark, ok otherwise.
+func (a *admitter) level() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case len(a.waiters) >= a.waitCap:
+		return levelShedding
+	case a.inflight >= a.limit && 2*len(a.waiters) >= a.waitCap:
+		return levelDegraded
+	default:
+		return levelOK
+	}
+}

@@ -371,6 +371,7 @@ func (m *jobManager) runJob(j *job) {
 	}
 	j.doc.State = JobRunning
 	sw := j.doc.Sweep
+	hash := j.doc.Hash
 	ctx := j.ctx
 	j.mu.Unlock()
 
@@ -392,6 +393,14 @@ func (m *jobManager) runJob(j *job) {
 			result = buf.Bytes()
 		}
 	}
+	if err == nil && len(failures) == 0 && m.store != nil {
+		// Write-through: the rendered sweep table becomes a durable blob,
+		// so the same grid never re-executes — not even after a restart.
+		// The Put lands BEFORE the job flips to done: a client that polls
+		// done and immediately restarts the server must find the blob, or
+		// the restart criterion (zero re-executions) races.
+		_ = m.store.Put(sweepNamespace, hash, result)
+	}
 
 	j.mu.Lock()
 	j.cancel = nil
@@ -401,7 +410,6 @@ func (m *jobManager) runJob(j *job) {
 		j.doc.Result = result
 		j.doc.Failures = failures
 		j.doc.Progress.Done = j.doc.Progress.Total
-		hash := j.doc.Hash
 		j.mu.Unlock()
 		if len(failures) > 0 {
 			// A partial table is not the canonical content of the sweep
@@ -411,12 +419,6 @@ func (m *jobManager) runJob(j *job) {
 			m.dropHash(j)
 			m.partial.Add(1)
 			return
-		}
-		if m.store != nil {
-			// Write-through: the rendered sweep table becomes a durable
-			// blob, so the same grid never re-executes — not even after
-			// a restart.
-			_ = m.store.Put(sweepNamespace, hash, result)
 		}
 	case errors.Is(err, context.Canceled):
 		j.doc.State = JobCancelled

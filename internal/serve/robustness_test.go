@@ -62,11 +62,11 @@ func TestPartialFailureSurfacesInJobDoc(t *testing.T) {
 			Client:      fabric.LocalClient{Coordinator: coord},
 			Parallelism: 1,
 			Poll:        5 * time.Millisecond,
-			RunPoint: func(spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
+			RunPoint: func(ctx context.Context, spec scenario.Spec, measures []string, parallelism int) (scenario.PointResult, error) {
 				if h, herr := spec.Hash(); herr == nil && h == pts[poisonIdx].Hash {
 					return scenario.PointResult{}, errors.New("synthetic poison")
 				}
-				return scenario.RunPoint(spec, measures, parallelism)
+				return scenario.RunPointContext(ctx, spec, measures, parallelism)
 			},
 		}
 		_ = w.Run(ctx)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"selfishnet/internal/cas"
 	"selfishnet/internal/export"
@@ -62,6 +63,28 @@ type Config struct {
 	// oversized posts are rejected with 413 and counted in /metrics as
 	// body_too_large. Values ≤ 0 select the default of 1 MiB.
 	MaxBodyBytes int64
+	// RunConcurrency bounds concurrent synchronous /v1/run evaluations
+	// (default 4). Cache hits bypass the bound entirely; misses beyond
+	// it wait FIFO in a queue of RunQueueDepth, and requests beyond
+	// that are rejected with 429 + Retry-After.
+	RunConcurrency int
+	// RunQueueDepth bounds the FIFO wait queue behind RunConcurrency
+	// (default 8). Queue occupancy drives the /healthz load level:
+	// half-full is degraded (expensive specs shed), full is shedding.
+	RunQueueDepth int
+	// RunTimeout, when positive, is the per-request evaluation deadline
+	// of /v1/run (the -run-timeout flag): the deadline propagates into
+	// every dynamics step and churn event, an exceeded run answers 504,
+	// and a client-supplied X-Run-Deadline-Ms header is clamped to it.
+	// Zero means no server-side deadline (client disconnect still
+	// aborts).
+	RunTimeout time.Duration
+	// ShedCost is the brownout watermark: once the load level leaves
+	// ok, cache-missing specs whose Spec.CostEstimate exceeds it are
+	// rejected with 429 before they queue, so cheap work and cached
+	// reads keep flowing while expensive work is shed first. Values
+	// ≤ 0 select the default of 4<<20 (≈ a large declarative run).
+	ShedCost int64
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -81,6 +104,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.RunConcurrency <= 0 {
+		c.RunConcurrency = 4
+	}
+	if c.RunQueueDepth <= 0 {
+		c.RunQueueDepth = 8
+	}
+	if c.ShedCost <= 0 {
+		c.ShedCost = 4 << 20
+	}
 	return c
 }
 
@@ -93,9 +125,25 @@ type Server struct {
 	jobs  *jobManager
 	mux   *http.ServeMux
 
-	runsTotal    atomic.Int64
-	runErrors    atomic.Int64
-	bodyTooLarge atomic.Int64
+	// admit gates synchronous /v1/run misses; draining flips once
+	// BeginShutdown is called and makes every intake endpoint answer
+	// 503 + Retry-After while in-flight work drains.
+	admit    *admitter
+	draining atomic.Bool
+
+	// runSpec is the synchronous evaluation behind /v1/run and
+	// /v1/runall — scenario.RunSpecContext in production. Overload
+	// tests substitute a controllable runner before serving traffic.
+	runSpec func(ctx context.Context, spec scenario.Spec) (*export.Table, error)
+
+	runsTotal        atomic.Int64
+	runErrors        atomic.Int64
+	bodyTooLarge     atomic.Int64
+	shedExpensive    atomic.Int64
+	shedSaturated    atomic.Int64
+	deadlineExceeded atomic.Int64
+	disconnectAborts atomic.Int64
+	shutdownRejected atomic.Int64
 }
 
 // New builds a Server (restoring persisted job state when
@@ -106,6 +154,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheMaxBytes, cfg.Store),
 		jobs:  newJobManager(cfg.Workers, cfg.QueueDepth, cfg.MaxJobs, cfg.PointParallelism),
+		admit: newAdmitter(cfg.RunConcurrency, cfg.RunQueueDepth),
+	}
+	s.runSpec = func(ctx context.Context, spec scenario.Spec) (*export.Table, error) {
+		return scenario.RunSpecContext(ctx, spec, scenario.Params{Parallelism: cfg.RunParallelism})
 	}
 	s.jobs.store = cfg.Store
 	if cfg.Fabric != nil {
@@ -164,12 +216,24 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Close gracefully shuts the server down: job intake stops, in-flight
-// jobs drain (until ctx expires, after which they are cancelled and
-// awaited), and — when configured — job states persist to
+// BeginShutdown stops intake without waiting for anything: every
+// /v1/run, /v1/runall and /v1/sweep submission from here on is
+// rejected with 503 + Retry-After (counted as shutdown_rejected) while
+// requests and jobs already in flight keep draining. Call it as the
+// first step of graceful shutdown — before http.Server.Shutdown — so
+// requests that slip in during the listener drain are turned away
+// instead of starting fresh work. Idempotent; Close calls it too.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+}
+
+// Close gracefully shuts the server down: intake stops (BeginShutdown),
+// in-flight jobs drain (until ctx expires, after which they are
+// cancelled and awaited), and — when configured — job states persist to
 // Config.StatePath. The HTTP listener is the caller's to close
 // (http.Server.Shutdown); call Close after it.
 func (s *Server) Close(ctx context.Context) error {
+	s.BeginShutdown()
 	drainErr := s.jobs.close(ctx)
 	if s.cfg.StatePath != "" {
 		if err := s.jobs.saveState(s.cfg.StatePath); err != nil {
@@ -235,7 +299,7 @@ func requestOverrides(r *http.Request, spec *scenario.Spec) error {
 // runCached executes a spec through the content-addressed cache and
 // returns (body, hash, hit). The body is the rendered table JSON; on a
 // hit it is the exact bytes of the first response.
-func (s *Server) runCached(spec scenario.Spec) ([]byte, string, bool, error) {
+func (s *Server) runCached(ctx context.Context, spec scenario.Spec) ([]byte, string, bool, error) {
 	hash, err := spec.Hash()
 	if err != nil {
 		return nil, "", false, err
@@ -243,20 +307,71 @@ func (s *Server) runCached(spec scenario.Spec) ([]byte, string, bool, error) {
 	if body, ok := s.cache.get(hash); ok {
 		return body, hash, true, nil
 	}
+	body, err := s.runMiss(ctx, spec, hash)
+	return body, hash, false, err
+}
+
+// runMiss executes a cache-missing spec and installs the rendered body
+// (the caller has already probed the cache for hash). A run cut short
+// by ctx (deadline or disconnect) returns the ctx error verbatim, is
+// not counted as a run error, and — critically — is never cached, so an
+// aborted evaluation cannot poison the cache with a partial result.
+func (s *Server) runMiss(ctx context.Context, spec scenario.Spec, hash string) ([]byte, error) {
 	s.runsTotal.Add(1)
-	table, err := scenario.RunSpec(spec, scenario.Params{Parallelism: s.cfg.RunParallelism})
+	table, err := s.runSpec(ctx, spec)
 	if err != nil {
-		s.runErrors.Add(1)
-		return nil, hash, false, err
+		if ctx.Err() == nil {
+			s.runErrors.Add(1)
+		}
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := table.WriteJSON(&buf); err != nil {
 		s.runErrors.Add(1)
-		return nil, hash, false, err
+		return nil, err
 	}
 	body := buf.Bytes()
 	s.cache.put(hash, body)
-	return body, hash, false, nil
+	return body, nil
+}
+
+// rejectDraining answers 503 + Retry-After when shutdown has begun;
+// callers return immediately on true. Jobs and requests already in
+// flight are unaffected — only new intake is turned away.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.shutdownRejected.Add(1)
+	w.Header().Set("Retry-After", "5")
+	writeError(w, http.StatusServiceUnavailable,
+		errors.New("serve: shutting down; not accepting new work"))
+	return true
+}
+
+// runRequestContext derives the evaluation context for one /v1/run
+// request: the request context (so a client disconnect aborts the run)
+// bounded by the server's RunTimeout and, when the client sends
+// X-Run-Deadline-Ms, by that too — the client deadline is clamped to
+// the server's, never extending it.
+func (s *Server) runRequestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.RunTimeout
+	if h := r.Header.Get("X-Run-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("serve: invalid X-Run-Deadline-Ms %q", h)
+		}
+		d := time.Duration(ms) * time.Millisecond
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	return ctx, cancel, nil
 }
 
 // handleRun executes one scenario.Spec synchronously. The body is the
@@ -264,7 +379,18 @@ func (s *Server) runCached(spec scenario.Spec) ([]byte, string, bool, error) {
 // CLI flags. The response is the table JSON (`topogame spec -json`
 // bytes) with X-Spec-Hash and X-Cache: hit|miss headers; repeated
 // identical requests are served from the cache byte-identically.
+//
+// Overload contract: cache hits always answer. Misses pass the
+// admission gate (RunConcurrency in flight, RunQueueDepth waiting FIFO;
+// beyond that 429 + Retry-After), are shed with 429 when the server is
+// degraded and the spec is expensive (Spec.CostEstimate > ShedCost),
+// run under the per-request deadline (RunTimeout clamped further by
+// X-Run-Deadline-Ms; exceeded ⇒ 504), and abort promptly when the
+// client disconnects.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	spec, err := scenario.ReadSpec(r.Body)
 	if err != nil {
 		s.bodyError(w, err)
@@ -274,11 +400,62 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, hash, hit, err := s.runCached(spec)
+	hash, err := spec.Hash()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// Cached reads bypass admission entirely: they cost nothing and must
+	// keep flowing even when the server is shedding.
+	if body, ok := s.cache.get(hash); ok {
+		s.serveRunBody(w, hash, true, body)
+		return
+	}
+	// Brownout: under load, reject expensive work before it queues.
+	if s.loadLevel() != levelOK && spec.CostEstimate() > s.cfg.ShedCost {
+		s.shedExpensive.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			errors.New("serve: shedding expensive runs under load; retry later"))
+		return
+	}
+	release, err := s.admit.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.shedSaturated.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		// The client went away while queued; nobody is listening.
+		s.disconnectAborts.Add(1)
+		return
+	}
+	defer release()
+	ctx, cancel, err := s.runRequestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	body, err := s.runMiss(ctx, spec, hash)
+	switch {
+	case err == nil:
+		s.serveRunBody(w, hash, false, body)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: run exceeded its deadline: %w", err))
+	case errors.Is(err, context.Canceled):
+		// Client disconnect mid-run: the evaluation aborted at its next
+		// dynamics step and nothing was cached.
+		s.disconnectAborts.Add(1)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func (s *Server) serveRunBody(w http.ResponseWriter, hash string, hit bool, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Spec-Hash", hash)
 	if hit {
@@ -304,6 +481,9 @@ type runAllRequest struct {
 // results as they complete. Every id goes through the same
 // content-addressed cache as /v1/run.
 func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req runAllRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -334,7 +514,7 @@ func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	stream := export.NewJSONStream(w)
 	for i, spec := range specs {
-		body, _, _, err := s.runCached(spec)
+		body, _, _, err := s.runCached(r.Context(), spec)
 		if err != nil {
 			// Headers are sent once the first table streams; all we can
 			// do mid-stream is abort the connection so the client sees a
@@ -365,6 +545,9 @@ func (s *Server) handleRunAll(w http.ResponseWriter, r *http.Request) {
 // canonical hash matches a queued, running or done job dedups onto it
 // (200); otherwise the job is queued (202).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	sw, err := scenario.ReadSweep(r.Body)
 	if err != nil {
 		s.bodyError(w, err)
@@ -388,6 +571,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j, deduped, err := s.jobs.submit(sw, hash)
 	if err != nil {
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -541,14 +725,27 @@ func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// healthDoc is the /healthz body.
+// healthDoc is the /healthz body. Status is the load level: "ok",
+// "degraded" (the /v1/run wait queue hit its half-full watermark —
+// expensive specs are being shed) or "shedding" (the queue is full, or
+// shutdown has begun — only cached reads flow). The endpoint always
+// answers 200: it reports capacity, not liveness failure.
 type healthDoc struct {
 	Status string   `json:"status"`
 	Jobs   jobStats `json:"jobs"`
 }
 
+// loadLevel is the server's current overload state — the admission
+// gate's occupancy, overridden by shedding once shutdown begins.
+func (s *Server) loadLevel() string {
+	if s.draining.Load() {
+		return levelShedding
+	}
+	return s.admit.level()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeDoc(w, http.StatusOK, healthDoc{Status: "ok", Jobs: s.jobs.stats()})
+	writeDoc(w, http.StatusOK, healthDoc{Status: s.loadLevel(), Jobs: s.jobs.stats()})
 }
 
 // metricsDoc is the flat expvar-style counter set served by /metrics.
@@ -559,9 +756,14 @@ type metricsDoc struct {
 	jobStats
 	*fabric.Counters
 	*cas.Stats
-	RunsTotal    int64 `json:"runs_total"`
-	RunErrors    int64 `json:"run_errors"`
-	BodyTooLarge int64 `json:"body_too_large"`
+	RunsTotal        int64 `json:"runs_total"`
+	RunErrors        int64 `json:"run_errors"`
+	BodyTooLarge     int64 `json:"body_too_large"`
+	ShedExpensive    int64 `json:"shed_expensive"`
+	ShedSaturated    int64 `json:"shed_saturated"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	DisconnectAborts int64 `json:"disconnect_aborts"`
+	ShutdownRejected int64 `json:"shutdown_rejected"`
 }
 
 // Metrics returns the current counter snapshot (also served as JSON by
@@ -582,11 +784,16 @@ func (s *Server) Metrics() map[string]int64 {
 
 func (s *Server) metricsDoc() metricsDoc {
 	doc := metricsDoc{
-		cacheStats:   s.cache.stats(),
-		jobStats:     s.jobs.stats(),
-		RunsTotal:    s.runsTotal.Load(),
-		RunErrors:    s.runErrors.Load(),
-		BodyTooLarge: s.bodyTooLarge.Load(),
+		cacheStats:       s.cache.stats(),
+		jobStats:         s.jobs.stats(),
+		RunsTotal:        s.runsTotal.Load(),
+		RunErrors:        s.runErrors.Load(),
+		BodyTooLarge:     s.bodyTooLarge.Load(),
+		ShedExpensive:    s.shedExpensive.Load(),
+		ShedSaturated:    s.shedSaturated.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+		DisconnectAborts: s.disconnectAborts.Load(),
+		ShutdownRejected: s.shutdownRejected.Load(),
 	}
 	if s.cfg.Fabric != nil {
 		st := s.cfg.Fabric.Stats()

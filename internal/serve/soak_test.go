@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfishnet/internal/export"
+	"selfishnet/internal/fabric"
+	"selfishnet/internal/scenario"
+)
+
+// TestFlashCrowdSoak is the overload proof: a deterministic flash crowd
+// (32 concurrent clients × 3 requests) against a small fabric-backed
+// server must produce only 200s and 429s (Retry-After on every 429),
+// every 200 body must be byte-identical to an unloaded reference run of
+// the same spec, and the goroutine count must return to its baseline
+// once the crowd drains — no leaked handlers, waiters or evaluations.
+func TestFlashCrowdSoak(t *testing.T) {
+	const nSpecs = 6
+	specs := make([]string, nSpecs)
+	for i := range specs {
+		specs[i] = seededSpec(1000 + i)
+	}
+
+	// Reference: an unloaded server renders each spec once.
+	_, refTS := newTestServer(t, Config{})
+	reference := make([][]byte, nSpecs)
+	for i, spec := range specs {
+		resp, body := post(t, refTS.URL+"/v1/run", spec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference run %d: %d %s", i, resp.StatusCode, body)
+		}
+		reference[i] = body
+	}
+
+	// Loaded target: tight admission (2 in flight, 2 queued), fabric
+	// configured with an in-process worker, and the real engine slowed
+	// just enough (5ms) that the crowd actually overlaps.
+	coord := fabric.NewCoordinator(fabric.Config{Lease: 2 * time.Second})
+	s, ts := newTestServer(t, Config{RunConcurrency: 2, RunQueueDepth: 2, Workers: 2, Fabric: coord})
+	runner, orig := installRunner(s)
+	slowed := specRunner(func(ctx context.Context, spec scenario.Spec) (*export.Table, error) {
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return orig(ctx, spec)
+	})
+	runner.Store(&slowed)
+
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	var workerWG sync.WaitGroup
+	workerWG.Add(1)
+	go func() {
+		defer workerWG.Done()
+		w := &fabric.Worker{
+			Client:      fabric.LocalClient{Coordinator: coord},
+			Parallelism: 1,
+			Poll:        5 * time.Millisecond,
+		}
+		_ = w.Run(workerCtx)
+	}()
+	t.Cleanup(func() { stopWorker(); workerWG.Wait() })
+
+	baseline := runtime.NumGoroutine()
+
+	type outcome struct {
+		spec   int
+		status int
+		retry  string
+		body   []byte
+	}
+	const clients, perClient = 32, 3
+	results := make(chan outcome, clients*perClient)
+	start := make(chan struct{})
+	var crowd sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		crowd.Add(1)
+		go func(c int) {
+			defer crowd.Done()
+			<-start
+			for k := 0; k < perClient; k++ {
+				idx := (c*perClient + k) % nSpecs
+				resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(specs[idx]))
+				if err != nil {
+					results <- outcome{spec: idx, status: -1}
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				results <- outcome{spec: idx, status: resp.StatusCode,
+					retry: resp.Header.Get("Retry-After"), body: body}
+			}
+		}(c)
+	}
+	close(start)
+	crowd.Wait()
+	close(results)
+
+	ok, shed := 0, 0
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+			if !bytes.Equal(r.body, reference[r.spec]) {
+				t.Fatalf("loaded 200 body for spec %d differs from unloaded reference:\n%s\nvs\n%s",
+					r.spec, r.body, reference[r.spec])
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retry == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("flash crowd got status %d, want only 200 or 429", r.status)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("flash crowd produced no successful responses")
+	}
+	if shed == 0 {
+		t.Fatal("flash crowd produced no 429s; admission gate never saturated")
+	}
+	t.Logf("flash crowd: %d ok, %d shed (baseline %d goroutines)", ok, shed, baseline)
+
+	// Drain: idle keep-alives closed, every handler, waiter and
+	// evaluation goroutine must wind down to the pre-crowd baseline.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines did not return to baseline %d (now %d):\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m := s.Metrics(); m["shed_saturated"]+m["shed_expensive"] == 0 {
+		t.Error("metrics recorded no shedding despite 429s")
+	}
+}
