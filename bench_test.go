@@ -8,6 +8,7 @@
 package selfishnet_test
 
 import (
+	"fmt"
 	"testing"
 
 	"selfishnet"
@@ -37,7 +38,8 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-// One benchmark per paper item (see DESIGN.md's per-experiment index).
+// One benchmark per paper item (see EXPERIMENTS.md for the
+// per-experiment index).
 
 func BenchmarkE1UpperBound(b *testing.B)     { benchExperiment(b, "e1-upper") }
 func BenchmarkE2Fig1Nash(b *testing.B)       { benchExperiment(b, "e2-fig1") }
@@ -86,11 +88,14 @@ func BenchmarkSocialCost64(b *testing.B) {
 }
 
 // uniformSetup builds a uniform-metric (every pair at distance 1)
-// instance, the metric class the word-parallel BFS kernel serves. Extra
-// options (e.g. core.WithKernel("heap")) pin ablation variants.
+// instance, the metric class the word-parallel BFS kernel serves. The
+// space is the implicit O(1) UnitSpace — no dense matrix — so these
+// benchmarks scale past the n² memory wall; evaluations are
+// bit-identical to the dense metric.Uniform path. Extra options (e.g.
+// core.WithKernel("heap")) pin ablation variants.
 func uniformSetup(b *testing.B, n int, alpha float64, opts ...core.Option) (*core.Evaluator, core.Profile) {
 	b.Helper()
-	space, err := metric.Uniform(n)
+	space, err := metric.UniformImplicit(n)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -183,6 +188,93 @@ func BenchmarkSocialCostDial256(b *testing.B) {
 			_ = ev.SocialCost(p)
 		}
 	})
+}
+
+// --- internet-scale benchmarks: banded store, certification, estimators ---
+//
+// These are the PR-10 scaling curve. After running them, append a
+// snapshot object to the `history` array of BENCH_baseline.json (PR
+// name, date, machine, per-benchmark ns/op and allocs) — never
+// overwrite earlier entries; the scaling claim is the trajectory.
+
+// BenchmarkSocialCostBanded evaluates the exact all-pairs social cost
+// through the banded multi-source BFS (64 source rows resident, bit-
+// identical to the slab fold) across the n-scaling curve. The n=65536
+// point is the certify acceptance workload: 2³² pair terms, no dense
+// matrix. Compare the n=1024 point with BenchmarkSocialCost1024 (the
+// slab path) to see the banded overhead at slab-feasible sizes.
+func BenchmarkSocialCostBanded(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			space, err := metric.UniformImplicit(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := core.NewInstance(space, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := core.NewEvaluator(inst)
+			p, err := core.StarProfile(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := core.StarSocialCost(n, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := ev.SocialCostBanded(p, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("banded %+v != closed form %+v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertifyStar65536 is the closed-form certification alone:
+// the O(n) complete deviation-space analysis that decides Nash
+// stability at n=65536 without touching a kernel.
+func BenchmarkCertifyStar65536(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cert, err := core.CertifyStar(65536, 2, bestresponse.Tolerance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cert.Stable {
+			b.Fatal("star at α=2 must certify stable")
+		}
+	}
+}
+
+// BenchmarkEstimateSocialCost is the sampled estimator on a 16384-peer
+// star: 64 seeded sources through the multi-source kernel, the
+// general-metric large-n fallback's cost shape.
+func BenchmarkEstimateSocialCost(b *testing.B) {
+	const n = 16384
+	space, err := metric.UniformImplicit(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := core.NewInstance(space, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := core.NewEvaluator(inst)
+	p, err := core.StarProfile(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EstimateSocialCost(p, 64, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDeviationBatch1024Parallel measures intra-step parallel

@@ -22,7 +22,20 @@ type Instance struct {
 	// d(i,j) lives at dist[i*n+j]. A single allocation keeps rows
 	// adjacent in memory, which the SSSP adjacency build, the dense
 	// reference and the DeviationBatch folds all scan sequentially.
+	//
+	// dist == nil marks an implicit uniform instance (a self-classified
+	// uniform space, e.g. metric.UnitSpace): no slab is materialized and
+	// every off-diagonal direct distance is directUnit. distRow then
+	// serves the shared all-unit unitRow — its diagonal entry holds
+	// directUnit rather than 0, which is safe because no distRow consumer
+	// reads the diagonal (per-pair folds skip j == i and strategies
+	// exclude self-links); code that may read the diagonal must go
+	// through Distance, which special-cases i == j.
 	dist []float64
+	// unitRow and directUnit back the implicit uniform representation
+	// (dist == nil): one shared row of n copies of the common unit.
+	unitRow    []float64
+	directUnit float64
 	// Kernel dispatch (see kernels.go): chosen once at construction from
 	// the metric class and γ, optionally pinned by WithKernel.
 	kernel    kernelKind
@@ -97,6 +110,27 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 	}
 	n := space.N()
 	in.n = n
+	// Self-classified uniform spaces skip the O(n²) materialization: the
+	// whole direct-distance matrix is one unit value, stored implicitly
+	// (dist == nil) as a shared n-entry row. This is what lets instances
+	// exist at n = 65536, where the slab alone would be 34 GB.
+	if sc, ok := space.(metric.SelfClassified); ok {
+		if info := sc.DistanceClass(); info.Kind == metric.ClassUniform {
+			u := info.Unit
+			if u <= 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("core: self-classified uniform unit %v, want finite positive", u)
+			}
+			in.directUnit = u
+			in.unitRow = make([]float64, n)
+			for j := range in.unitRow {
+				in.unitRow[j] = u
+			}
+			if err := in.classifyKernel(info); err != nil {
+				return nil, err
+			}
+			return in, nil
+		}
+	}
 	in.dist = make([]float64, n*n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -110,7 +144,8 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 			in.dist[i*n+j] = d
 		}
 	}
-	if err := in.classifyKernel(); err != nil {
+	info := metric.ClassifyFunc(n, func(i, j int) float64 { return in.dist[i*n+j] })
+	if err := in.classifyKernel(info); err != nil {
 		return nil, err
 	}
 	return in, nil
@@ -120,9 +155,8 @@ func NewInstance(space metric.Space, alpha float64, opts ...Option) (*Instance, 
 // congestion setting (γ > 0 re-weights arcs by in-degree, destroying
 // both the uniform and the integer structure, so it always falls back
 // to the heap), honoring a WithKernel pin.
-func (in *Instance) classifyKernel() error {
+func (in *Instance) classifyKernel(info metric.ClassInfo) error {
 	n := in.n
-	info := metric.ClassifyFunc(n, func(i, j int) float64 { return in.dist[i*n+j] })
 	auto := kernelHeap
 	if in.congestionGamma == 0 {
 		switch info.Kind {
@@ -177,8 +211,15 @@ func (in *Instance) Kernel() string { return in.kernel.String() }
 func (in *Instance) N() int { return in.n }
 
 // distRow returns the direct distances from peer i as a slice view into
-// the row-major slab.
-func (in *Instance) distRow(i int) []float64 { return in.dist[i*in.n : (i+1)*in.n] }
+// the row-major slab — or, on implicit uniform instances, the shared
+// all-unit row (whose diagonal entry is the unit, not 0: callers must
+// not read index i, and none of the per-pair folds do).
+func (in *Instance) distRow(i int) []float64 {
+	if in.dist == nil {
+		return in.unitRow
+	}
+	return in.dist[i*in.n : (i+1)*in.n]
+}
 
 // denseRows materializes the distance matrix as per-row slices (views
 // into the slab), for callers that want the [][]float64 shape.
@@ -200,7 +241,15 @@ func (in *Instance) Model() CostModel { return in.model }
 func (in *Instance) Space() metric.Space { return in.space }
 
 // Distance returns the cached direct distance d(i,j).
-func (in *Instance) Distance(i, j int) float64 { return in.dist[i*in.n+j] }
+func (in *Instance) Distance(i, j int) float64 {
+	if in.dist != nil {
+		return in.dist[i*in.n+j]
+	}
+	if i == j {
+		return 0
+	}
+	return in.directUnit
+}
 
 // Cost is a decomposed cost value: Link is the α·degree part (C_E for a
 // peer, α|E| for the whole system) and Term is the stretch/distance part
@@ -259,6 +308,9 @@ type Evaluator struct {
 	bfsVisited []uint64
 	// Dial kernel bucket storage (kernelDial instances).
 	dial dialQueue
+	// Banded / multi-source BFS scratch (see msbfs.go): per-vertex
+	// source masks, frontier lists and band row storage.
+	ms msScratch
 	// pool, when attached, fans the rest-row SSSPs of NewDeviationBatch
 	// (and BatchCache dirty-row settles) across evaluator clones. See
 	// AttachPool.
@@ -334,6 +386,17 @@ func strategyOf(p Profile, u, override int, alt Strategy) Strategy {
 // evaluating many sources over one profile prepare once and then call
 // ssspFrom per source.
 func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
+	ev.prepareWith(p, override, alt, true)
+}
+
+// prepareWith is prepare with the bitset adjacency build optional:
+// bitsetAdj = false skips the n·⌈n/64⌉-word bfsAdj slab on kernelBFS
+// instances (512 MB at n = 65536) and builds only the CSR structures.
+// The streamed paths (SocialCostBanded, PeerEvalStreamed) run the
+// multi-source BFS over the CSR directly, so they never need the slab;
+// after a bitsetAdj = false call, ssspFrom must not be used on a
+// kernelBFS instance until a full prepare rebuilds it.
+func (ev *Evaluator) prepareWith(p Profile, override int, alt Strategy, bitsetAdj bool) {
 	n := ev.inst.N()
 	inst := ev.inst
 
@@ -386,7 +449,7 @@ func (ev *Evaluator) prepare(p Profile, override int, alt Strategy) {
 		})
 	}
 
-	if ev.inst.kernel == kernelBFS {
+	if bitsetAdj && ev.inst.kernel == kernelBFS {
 		ev.prepareBFS(p, override, alt)
 	}
 

@@ -47,13 +47,14 @@ func (dy *DynEval) Grow(newEv *Evaluator) error {
 	if inst.modelKind != old.modelKind || inst.modelKind == modelCustom {
 		return fmt.Errorf("core: Grow requires the same built-in cost model (have %T, want %T)", inst.model, old.model)
 	}
+	// Compare through Distance, not distRow: implicit uniform instances
+	// serve a shared row whose diagonal entry is the unit, and this is
+	// the one loop in the package that walks j across the diagonal.
 	for i := 0; i < n; i++ {
-		oldRow := old.distRow(i)
-		newRow := inst.distRow(i)
 		for j := 0; j < n; j++ {
-			if oldRow[j] != newRow[j] {
+			if od, nd := old.Distance(i, j), inst.Distance(i, j); od != nd {
 				return fmt.Errorf("core: Grow distance mismatch at (%d,%d): old %v, new %v",
-					i, j, oldRow[j], newRow[j])
+					i, j, od, nd)
 			}
 		}
 	}

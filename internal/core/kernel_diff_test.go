@@ -14,6 +14,7 @@ import (
 	"math"
 	"testing"
 
+	"selfishnet/internal/bitset"
 	"selfishnet/internal/metric"
 	"selfishnet/internal/rng"
 )
@@ -111,6 +112,216 @@ func TestKernelSelection(t *testing.T) {
 	}
 	if _, err := NewInstance(unit, 1, WithCongestion(0.5), WithKernel("bfs")); err == nil {
 		t.Error("WithKernel(bfs) under congestion must fail")
+	}
+}
+
+// boundaryIntSpace builds a deterministic symmetric integer metric
+// whose weights are lo except for a sprinkling of pairs at exactly hi
+// (hi ≤ 2·lo keeps the triangle inequality free).
+func boundaryIntSpace(t *testing.T, n, lo, hi int) metric.Space {
+	t.Helper()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(lo)
+			if (i+j)%3 == 0 {
+				w = float64(hi)
+			}
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	space, err := metric.NewMatrixUnchecked(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+// TestKernelDispatchBoundaries pins the dispatch table at its edges:
+// weights exactly at metric.MaxSmallIntWeight stay on Dial (and a
+// uniform metric AT the boundary weight stays on BFS), one past it
+// falls to the heap, and sub-minimal instances are rejected outright.
+func TestKernelDispatchBoundaries(t *testing.T) {
+	r := rng.New(83)
+	maxW := metric.MaxSmallIntWeight
+
+	// Exactly at the boundary: still the Dial class.
+	atBoundary := boundaryIntSpace(t, 14, maxW/2, maxW)
+	inst, err := NewInstance(atBoundary, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Kernel(); got != "dial" {
+		t.Errorf("weights at MaxSmallIntWeight: kernel %q, want dial", got)
+	}
+
+	// One past the boundary: general class, Dial pin must fail.
+	pastBoundary := boundaryIntSpace(t, 14, (maxW+1)/2+1, maxW+1)
+	inst, err = NewInstance(pastBoundary, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Kernel(); got != "heap" {
+		t.Errorf("weights past MaxSmallIntWeight: kernel %q, want heap", got)
+	}
+	if _, err := NewInstance(pastBoundary, 2.5, WithKernel("dial")); err == nil {
+		t.Error("WithKernel(dial) past MaxSmallIntWeight must fail")
+	}
+
+	// A uniform metric AT the boundary weight: uniform wins over
+	// small-int, but Dial may still be pinned; one past, only BFS.
+	uniAt, err := metric.UniformUnit(14, float64(maxW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err = NewInstance(uniAt, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Kernel(); got != "bfs" {
+		t.Errorf("uniform at MaxSmallIntWeight: kernel %q, want bfs", got)
+	}
+	if _, err := NewInstance(uniAt, 2.5, WithKernel("dial")); err != nil {
+		t.Errorf("WithKernel(dial) on uniform integer metric at the boundary: %v", err)
+	}
+	uniPast, err := metric.UniformUnit(14, float64(maxW+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err = NewInstance(uniPast, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Kernel(); got != "bfs" {
+		t.Errorf("uniform past MaxSmallIntWeight: kernel %q, want bfs", got)
+	}
+	if _, err := NewInstance(uniPast, 2.5, WithKernel("dial")); err == nil {
+		t.Error("WithKernel(dial) on a non-integer-class uniform metric must fail")
+	}
+
+	// Sub-minimal instances are rejected at construction.
+	if _, err := metric.UniformUnit(1, 1); err == nil {
+		t.Error("UniformUnit(1): expected error")
+	}
+	single, err := metric.NewMatrixUnchecked([][]float64{{0}})
+	if err == nil {
+		if _, err := NewInstance(single, 1); err == nil {
+			t.Error("NewInstance(n=1): expected error")
+		}
+	}
+
+	// Boundary-weight instances must still be bit-identical to the heap
+	// across the full eval surface.
+	for _, tc := range []struct {
+		name  string
+		space metric.Space
+	}{
+		{name: "dial-at-boundary", space: atBoundary},
+		{name: "bfs-at-boundary", space: uniAt},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			auto, err := NewInstance(tc.space, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heap, err := NewInstance(tc.space, 2.5, WithKernel("heap"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			evA, evH := NewEvaluator(auto), NewEvaluator(heap)
+			p := randomDiffProfile(r, 14, 0.2)
+			if a, h := evA.SocialCost(p), evH.SocialCost(p); a != h {
+				t.Fatalf("SocialCost: %+v vs heap %+v", a, h)
+			}
+			for i := 0; i < 14; i++ {
+				if a, h := evA.PeerEval(p, i), evH.PeerEval(p, i); a != h {
+					t.Fatalf("PeerEval(%d): %+v vs heap %+v", i, a, h)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelTwoPeerAndEmptyProfiles pins the degenerate ends of the
+// profile space on every kernel: two-peer instances (the smallest the
+// core admits) and fully empty-strategy profiles (everything
+// unreachable), each compared bit-for-bit against the heap twin — the
+// regime where off-by-one frontier bookkeeping would show.
+func TestKernelTwoPeerAndEmptyProfiles(t *testing.T) {
+	r := rng.New(89)
+	for _, kc := range kernelCases() {
+		t.Run(kc.name+"-empty", func(t *testing.T) {
+			auto, heap := twinInstances(t, r, kc.diffCase)
+			evA, evH := NewEvaluator(auto), NewEvaluator(heap)
+			empty := NewProfile(kc.n)
+			if a, h := evA.SocialCost(empty), evH.SocialCost(empty); a != h {
+				t.Fatalf("empty profile SocialCost: %+v vs heap %+v", a, h)
+			}
+			for i := 0; i < kc.n; i++ {
+				a, h := evA.PeerEval(empty, i), evH.PeerEval(empty, i)
+				if a != h {
+					t.Fatalf("empty profile PeerEval(%d): %+v vs heap %+v", i, a, h)
+				}
+				if a.Unreachable != kc.n-1 {
+					t.Fatalf("empty profile PeerEval(%d): %d unreachable, want %d", i, a.Unreachable, kc.n-1)
+				}
+			}
+			// Deviating OUT of the empty profile: the mover links peers
+			// that link no one.
+			i := r.Intn(kc.n)
+			alt := randomStrategy(r, kc.n, i, 0.5)
+			if a, h := evA.DeviationEval(empty, i, alt), evH.DeviationEval(empty, i, alt); a != h {
+				t.Fatalf("empty profile DeviationEval: %+v vs heap %+v", a, h)
+			}
+		})
+	}
+	for _, tc := range []struct {
+		name  string
+		space string
+		unit  float64
+	}{
+		{name: "two-peer-bfs", space: "unit"},
+		{name: "two-peer-bfs-scaled", space: "unit", unit: 0.37},
+		{name: "two-peer-dial", space: "int"},
+		{name: "two-peer-heap", space: "points"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := diffCase{n: 2, linkProb: 1, space: tc.space, unit: tc.unit}
+			if tc.space == "points" {
+				c.space = ""
+			}
+			auto, heap := twinInstances(t, r, c)
+			evA, evH := NewEvaluator(auto), NewEvaluator(heap)
+			// All four two-peer profiles: ∅∅, 0→1, 1→0, mutual.
+			for mask := 0; mask < 4; mask++ {
+				p := NewProfile(2)
+				if mask&1 != 0 {
+					s := bitset.New(2)
+					s.Add(1)
+					if err := p.SetStrategy(0, s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if mask&2 != 0 {
+					s := bitset.New(2)
+					s.Add(0)
+					if err := p.SetStrategy(1, s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if a, h := evA.SocialCost(p), evH.SocialCost(p); a != h {
+					t.Fatalf("mask %d: SocialCost %+v vs heap %+v", mask, a, h)
+				}
+				for i := 0; i < 2; i++ {
+					if a, h := evA.PeerEval(p, i), evH.PeerEval(p, i); a != h {
+						t.Fatalf("mask %d: PeerEval(%d) %+v vs heap %+v", mask, i, a, h)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -57,11 +57,26 @@ type ClassInfo struct {
 	IntegerValued bool
 }
 
-// Classify scans a space's off-diagonal distances and returns its
-// class. O(n²) Distance calls; spaces with expensive Distance should be
-// materialized first (FromSpace) or classified via ClassifyFunc over a
-// cached matrix.
+// SelfClassified is a Space that knows its own class without a scan.
+// DistanceClass must return exactly what ClassifyFunc(s.N(), s.Distance)
+// would — it is a shortcut, never an override. Implementations with
+// O(1)-derivable structure (UnitSpace) use it to let consumers skip the
+// O(n²) classification scan; the FuzzClassify target cross-checks the
+// contract against the scanning path.
+type SelfClassified interface {
+	Space
+	DistanceClass() ClassInfo
+}
+
+// Classify returns a space's class. Spaces that self-classify
+// (SelfClassified) answer in O(1); everything else is scanned with
+// ClassifyFunc — O(n²) Distance calls, so spaces with expensive
+// Distance should be materialized first (FromSpace) or classified via
+// ClassifyFunc over a cached matrix.
 func Classify(s Space) ClassInfo {
+	if sc, ok := s.(SelfClassified); ok {
+		return sc.DistanceClass()
+	}
 	return ClassifyFunc(s.N(), s.Distance)
 }
 

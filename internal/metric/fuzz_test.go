@@ -1,0 +1,94 @@
+package metric
+
+// Native fuzz target for the kernel-dispatch classifier: the
+// self-classification shortcut (UnitSpace.DistanceClass) must agree
+// with the generic ClassifyFunc scan on the same distances — above,
+// below and exactly at the MaxSmallIntWeight integer boundary — and
+// the scan itself must be order-insensitive on small random matrices.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzUnit decodes a unit value from 8 bytes, mapping the raw bits
+// into the classifier's interesting neighborhood: finite positive
+// units clustered around small integers and MaxSmallIntWeight.
+func fuzzUnit(raw uint64) float64 {
+	u := math.Float64frombits(raw)
+	if math.IsNaN(u) || math.IsInf(u, 0) || u <= 0 {
+		// Fold invalid bit patterns onto the integer boundary region,
+		// where dispatch actually changes.
+		u = float64(MaxSmallIntWeight) + float64(raw%5) - 2
+	}
+	return u
+}
+
+func FuzzClassify(f *testing.F) {
+	seed := func(u float64) []byte {
+		var b [9]byte
+		binary.LittleEndian.PutUint64(b[:8], math.Float64bits(u))
+		b[8] = 7 // n
+		return b[:]
+	}
+	f.Add(seed(1))
+	f.Add(seed(0.5))
+	f.Add(seed(float64(MaxSmallIntWeight)))
+	f.Add(seed(float64(MaxSmallIntWeight) + 1))
+	f.Add(seed(float64(MaxSmallIntWeight) - 0.5))
+	f.Add([]byte{0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		u := fuzzUnit(binary.LittleEndian.Uint64(data[:8]))
+		n := 2 + int(data[8]%16)
+
+		s, err := UniformUnit(n, u)
+		if err != nil {
+			t.Fatalf("UniformUnit(%d, %v): %v", n, u, err)
+		}
+		// The O(1) self-classification must equal the O(n²) scan of the
+		// same space — Classify takes the shortcut, ClassifyFunc does not.
+		if got, want := Classify(s), ClassifyFunc(s.N(), s.Distance); got != want {
+			t.Fatalf("unit %v n %d: DistanceClass %+v, scan %+v", u, n, got, want)
+		}
+
+		// Remaining bytes perturb one off-diagonal entry of a dense copy:
+		// a single deviating weight must demote ClassUniform, and the two
+		// classifiers must still agree through the Matrix path (which has
+		// no shortcut, so Classify == ClassifyFunc trivially holds; the
+		// assertion pins that FromSpace preserved the classification).
+		dense := FromSpace(s)
+		if got := Classify(dense); got != Classify(s) {
+			t.Fatalf("dense copy classifies %+v, implicit %+v", got, Classify(s))
+		}
+		if len(data) >= 10 && n > 2 && u/2 > 0 {
+			d := make([][]float64, n)
+			for i := range d {
+				d[i] = make([]float64, n)
+				for j := range d[i] {
+					if i != j {
+						d[i][j] = u
+					}
+				}
+			}
+			// A relative perturbation so the deviating entry differs from u
+			// at any magnitude (an additive +1 is absorbed for huge units).
+			d[0][1] = u / 2
+			m, err := NewMatrixUnchecked(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := Classify(m)
+			if info != ClassifyFunc(m.N(), m.Distance) {
+				t.Fatalf("perturbed matrix: Classify %+v != scan", info)
+			}
+			if info.Kind == ClassUniform {
+				t.Fatalf("perturbed matrix still classifies uniform: %+v", info)
+			}
+		}
+	})
+}

@@ -308,6 +308,70 @@ func Uniform(n int) (*Matrix, error) {
 	return &Matrix{d: d}, nil
 }
 
+// UnitSpace is the uniform metric stored implicitly: every off-diagonal
+// distance equals one common unit, held in O(1) memory regardless of n.
+// It is the internet-scale counterpart of Uniform — a dense Uniform(n)
+// matrix costs n² float64s (2 GiB at n = 16384), while a UnitSpace costs
+// two words at any n. UnitSpace self-classifies (SelfClassified), so the
+// game core can skip its O(n²) distance materialization and
+// classification scans entirely and serve the instance from a shared
+// unit row plus the word-parallel BFS kernels.
+type UnitSpace struct {
+	n    int
+	unit float64
+}
+
+var (
+	_ Space          = (*UnitSpace)(nil)
+	_ SelfClassified = (*UnitSpace)(nil)
+)
+
+// UniformImplicit returns the uniform metric on n points (every pair at
+// distance 1) in O(1) storage. It is semantically identical to
+// Uniform(n): instances built over either report the same distances,
+// classify identically and evaluate bit-for-bit equally; only the
+// memory footprint differs.
+func UniformImplicit(n int) (*UnitSpace, error) { return UniformUnit(n, 1) }
+
+// UniformUnit returns the uniform metric on n points with every pair at
+// the given positive finite distance, in O(1) storage.
+func UniformUnit(n int, unit float64) (*UnitSpace, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("metric: uniform metric needs n ≥ 2, got %d", n)
+	}
+	if unit <= 0 || math.IsNaN(unit) || math.IsInf(unit, 0) {
+		return nil, fmt.Errorf("metric: uniform unit %v, want finite positive", unit)
+	}
+	return &UnitSpace{n: n, unit: unit}, nil
+}
+
+// N returns the number of points.
+func (s *UnitSpace) N() int { return s.n }
+
+// Distance returns 0 on the diagonal and the common unit off it.
+func (s *UnitSpace) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return s.unit
+}
+
+// Unit returns the common off-diagonal distance.
+func (s *UnitSpace) Unit() float64 { return s.unit }
+
+// DistanceClass declares the space's class without a scan: uniform at
+// the common unit, integer-valued when the unit is a positive integer
+// no larger than MaxSmallIntWeight — exactly what ClassifyFunc would
+// compute from the distances (pinned by the FuzzClassify target).
+func (s *UnitSpace) DistanceClass() ClassInfo {
+	info := ClassInfo{Kind: ClassUniform, Unit: s.unit}
+	if s.unit == math.Trunc(s.unit) && s.unit <= MaxSmallIntWeight {
+		info.IntegerValued = true
+		info.MaxWeight = int(s.unit)
+	}
+	return info
+}
+
 // Spread returns the ratio of the largest to the smallest pairwise
 // distance, a standard difficulty measure for locality-aware overlays.
 func Spread(s Space) float64 {

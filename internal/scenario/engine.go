@@ -36,6 +36,7 @@ var measureNames = []string{
 	"nash", "max-indegree", "degree-gini",
 	"churn-rate", "churn-repair", "churn-events",
 	"restabilize-mean", "restabilize-max", "overshoot", "tail-stable",
+	"est-social", "est-social-ci", "est-stretch", "est-stretch-ci", "est-samples",
 }
 
 // churnMeasure reports whether the measure reads the churn phase and
@@ -44,6 +45,16 @@ func churnMeasure(name string) bool {
 	switch name {
 	case "churn-rate", "churn-repair", "churn-events",
 		"restabilize-mean", "restabilize-max", "overshoot", "tail-stable":
+		return true
+	}
+	return false
+}
+
+// estimateMeasure reports whether the measure reads the sampled
+// estimators and therefore requires an estimate block in the spec.
+func estimateMeasure(name string) bool {
+	switch name {
+	case "est-social", "est-social-ci", "est-stretch", "est-stretch-ci", "est-samples":
 		return true
 	}
 	return false
@@ -90,6 +101,11 @@ type outcome struct {
 
 	social *core.Cost
 	stats  *analysis.TopologyStats
+
+	// estSocial/estStretch cache the sampled estimators (one run each no
+	// matter how many est-* measures read them), seeded by the spec seed.
+	estSocial  *core.Estimate
+	estStretch *core.Estimate
 
 	// churnWorkers sizes the churn run's evaluator pool (wall-clock
 	// only); churnRes/churnErr cache the single churn.Run execution.
@@ -141,6 +157,33 @@ func (o *outcome) churnResult() (churn.Result, error) {
 		return churn.Result{}, o.churnErr
 	}
 	return *o.churnRes, nil
+}
+
+// estSocialResult lazily computes the sampled social-cost estimate on
+// the chosen profile with the spec's sample budget and seed.
+func (o *outcome) estSocialResult() (core.Estimate, error) {
+	if o.estSocial == nil {
+		est, err := o.ev.EstimateSocialCost(o.chosen, o.spec.Estimate.Samples, o.seed)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		o.estSocial = &est
+	}
+	return *o.estSocial, nil
+}
+
+// estStretchResult lazily computes the landmark mean-term estimate on
+// the chosen profile. The landmark seed is offset from the spec seed so
+// the two estimators never share a source sample by construction.
+func (o *outcome) estStretchResult() (core.Estimate, error) {
+	if o.estStretch == nil {
+		est, err := o.ev.EstimateMeanTerm(o.chosen, o.spec.Estimate.Landmarks, o.seed+1)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		o.estStretch = &est
+	}
+	return *o.estStretch, nil
 }
 
 func (o *outcome) topoStats() (analysis.TopologyStats, error) {
@@ -366,6 +409,36 @@ func (o *outcome) measureCell(name string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("%v", cr.TailStable), nil
+	case "est-social":
+		est, err := o.estSocialResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(est.Value), nil
+	case "est-social-ci":
+		est, err := o.estSocialResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(est.CI), nil
+	case "est-stretch":
+		est, err := o.estStretchResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(est.Value), nil
+	case "est-stretch-ci":
+		est, err := o.estStretchResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Num(est.CI), nil
+	case "est-samples":
+		est, err := o.estSocialResult()
+		if err != nil {
+			return "", err
+		}
+		return export.Int(est.Samples), nil
 	default:
 		return "", fmt.Errorf("scenario: unknown measure %q", name)
 	}

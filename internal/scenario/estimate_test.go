@@ -1,0 +1,137 @@
+package scenario
+
+// Tests for the estimate block: the est-* measures, their gating on
+// the block, normalization defaults, and the sweep samples axis.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// estSpec is a small unit-metric declarative spec with an estimate
+// block and the est-* measure columns. The greedy oracle keeps the
+// dynamics cheap — the estimator only reads the final profile.
+func estSpec() Spec {
+	return Spec{
+		Name:     "est-decl",
+		Seed:     11,
+		Metric:   MetricSpec{Family: "unit", N: 12},
+		Game:     GameSpec{Alpha: 1.5},
+		Dynamics: DynamicsSpec{Oracle: "greedy", MaxSteps: 500},
+		Estimate: EstimateSpec{Samples: 8, Landmarks: 4},
+		Measures: []string{"social-cost", "est-social", "est-social-ci", "est-stretch", "est-stretch-ci", "est-samples"},
+	}
+}
+
+func TestEstimateMeasures(t *testing.T) {
+	tb, err := RunSpec(estSpec(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tb.Rows[0]
+	cell := func(name string) string {
+		for i, h := range tb.Headers {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q in %v", name, tb.Headers)
+		return ""
+	}
+	if got := cell("est-samples"); got != "8" {
+		t.Errorf("est-samples = %q, want 8", got)
+	}
+	for _, name := range []string{"est-social", "est-social-ci", "est-stretch", "est-stretch-ci"} {
+		if _, err := strconv.ParseFloat(cell(name), 64); err != nil {
+			t.Errorf("%s = %q: not numeric: %v", name, cell(name), err)
+		}
+	}
+
+	// Full coverage: the estimate is exact with CI 0.
+	full := estSpec()
+	full.Estimate.Samples = 1000
+	full.Estimate.Landmarks = 1000
+	tb2, err := RunSpec(full, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row = tb2.Rows[0]
+	if got := cell("est-samples"); got != "12" {
+		t.Errorf("clamped est-samples = %q, want 12", got)
+	}
+	if got := cell("est-social-ci"); got != "0" {
+		t.Errorf("full-coverage est-social-ci = %q, want 0", got)
+	}
+}
+
+func TestEstimateValidationAndNormalize(t *testing.T) {
+	// est-* measures without an estimate block are rejected.
+	s := estSpec()
+	s.Estimate = EstimateSpec{}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "estimate block") {
+		t.Fatalf("est measures without block: err = %v", err)
+	}
+	s.Estimate = EstimateSpec{Samples: -1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative samples accepted")
+	}
+
+	// A non-zero block gets its defaults; a zero block stays zero.
+	n := Spec{Metric: MetricSpec{Family: "unit", N: 8}, Estimate: EstimateSpec{Samples: 5}}.Normalize()
+	if n.Estimate != (EstimateSpec{Samples: 5, Landmarks: 16}) {
+		t.Fatalf("normalized estimate = %+v", n.Estimate)
+	}
+	z := Spec{Metric: MetricSpec{Family: "unit", N: 8}}.Normalize()
+	if !z.Estimate.isZero() {
+		t.Fatalf("zero estimate block gained fields: %+v", z.Estimate)
+	}
+}
+
+func TestSweepSamplesAxis(t *testing.T) {
+	sw := Sweep{Base: estSpec(), Alphas: []float64{1, 2}, Samples: []int{4, 8, 16}}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	points := sw.Points()
+	if len(points) != 6 {
+		t.Fatalf("grid size %d, want 6", len(points))
+	}
+	// samples grids innermost: the first three points share α and step
+	// through the samples axis.
+	for i, want := range []int{4, 8, 16, 4, 8, 16} {
+		if got := points[i].Estimate.Samples; got != want {
+			t.Errorf("point %d samples = %d, want %d", i, got, want)
+		}
+	}
+	if points[0].Game.Alpha != 1 || points[3].Game.Alpha != 2 {
+		t.Errorf("alpha axis order wrong: %v, %v", points[0].Game.Alpha, points[3].Game.Alpha)
+	}
+
+	// The axis requires an estimate block.
+	bad := Sweep{Base: Spec{Metric: MetricSpec{Family: "unit", N: 8}}, Samples: []int{4}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "estimate block") {
+		t.Fatalf("samples axis without block: err = %v", err)
+	}
+	bad = Sweep{Base: estSpec(), Samples: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("samples axis value 0 accepted")
+	}
+
+	tb, err := sw.Run(Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("table rows %d, want 6", len(tb.Rows))
+	}
+	found := false
+	for _, note := range tb.Notes {
+		if strings.Contains(note, "×samples") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("axes note missing ×samples: %v", tb.Notes)
+	}
+}

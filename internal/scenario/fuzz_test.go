@@ -1,0 +1,72 @@
+package scenario
+
+// Native fuzz target for the spec canonicalization pipeline — the
+// invariants the topogamed content-addressed result cache rests on:
+// Normalize is idempotent, Hash is stable under re-normalization, and
+// CanonicalJSON round-trips through ReadSpec-style decoding back to
+// the same canonical bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func FuzzSpecNormalizeHash(f *testing.F) {
+	f.Add([]byte(`{"metric":{"family":"unit","n":16},"game":{"alpha":2}}`))
+	f.Add([]byte(`{"metric":{"family":"uniform","n":8},"game":{"alpha":1,"kernel":"auto"},"dynamics":{"runs":3}}`))
+	f.Add([]byte(`{"experiment":"e4-poa","seed":9}`))
+	f.Add([]byte(`{"metric":{"family":"clustered","n":12},"churn":{"rate":0.1},"estimate":{"samples":8}}`))
+	f.Add([]byte(`{"metric":{"family":"grid","rows":3,"cols":4},"quick":true}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // not a spec; nothing to canonicalize
+		}
+		// Normalize is total — it must not panic even on specs that fail
+		// Validate — and idempotent on everything it returns.
+		n1 := s.Normalize()
+		n2 := n1.Normalize()
+		c1, err1 := n1.CanonicalJSON()
+		c2, err2 := n2.CanonicalJSON()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("canonical encoding errors diverge: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return // unencodable (e.g. NaN alpha); both agree
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("Normalize not idempotent:\n  once:  %s\n  twice: %s", c1, c2)
+		}
+
+		// Hash must be stable under re-normalization: the cache key of a
+		// spec equals the cache key of its canonical form.
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("hash after clean canonical encoding: %v", err)
+		}
+		hn, err := n1.Hash()
+		if err != nil {
+			t.Fatalf("hash of normalized: %v", err)
+		}
+		if h != hn {
+			t.Fatalf("hash unstable under normalization: %s vs %s", h, hn)
+		}
+
+		// CanonicalJSON round-trips: decoding the canonical bytes yields a
+		// spec with the same canonical bytes (and therefore the same hash).
+		var back Spec
+		if err := json.Unmarshal(c1, &back); err != nil {
+			t.Fatalf("canonical bytes do not decode: %v\n%s", err, c1)
+		}
+		c3, err := back.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("re-encoding decoded canonical spec: %v", err)
+		}
+		if !bytes.Equal(c1, c3) {
+			t.Fatalf("canonical JSON does not round-trip:\n  out:  %s\n  back: %s", c1, c3)
+		}
+	})
+}

@@ -29,6 +29,8 @@ import (
 //     (DefaultMeasures).
 //   - A non-zero churn block gets its defaults (repair "selfish",
 //     duration 5); a zero block stays zero.
+//   - A non-zero estimate block gets its defaults (samples 32,
+//     landmarks 16); a zero block stays zero.
 //   - Quick trims are folded in (runs ≤ 2, max_steps ≤ 1500, churn
 //     duration ≤ 1), so a quick spec hashes equal to the spec it
 //     actually executes as.
@@ -138,6 +140,17 @@ func (s Spec) Normalize() Spec {
 		}
 		if out.Quick && out.Churn.Duration > 1 {
 			out.Churn.Duration = 1
+		}
+	}
+
+	// Estimate: explicit sample counts. A zero block stays zero (no
+	// estimator phase), so existing specs hash unchanged.
+	if !out.Estimate.isZero() {
+		if out.Estimate.Samples == 0 {
+			out.Estimate.Samples = 32
+		}
+		if out.Estimate.Landmarks == 0 {
+			out.Estimate.Landmarks = 16
 		}
 	}
 

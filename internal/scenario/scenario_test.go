@@ -134,8 +134,10 @@ func TestRunSpecAllMeasures(t *testing.T) {
 	spec.Measures = MeasureNames()
 	spec.Start = StartSpec{}
 	spec.Dynamics.Runs = 3
-	// The churn-* measures require a churn phase.
+	// The churn-* measures require a churn phase; the est-* measures an
+	// estimate block.
 	spec.Churn = ChurnSpec{Rate: 0.05, Duration: 1}
+	spec.Estimate = EstimateSpec{Samples: 8, Landmarks: 4}
 	tb, err := RunSpec(spec, Params{})
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,12 @@ type Spec struct {
 	// join/leave event stream (internal/churn), and the churn-* measures
 	// report its outcome. Zero means no churn phase.
 	Churn ChurnSpec `json:"churn,omitzero"`
+	// Estimate, when set, enables the sampled est-* measures on the
+	// chosen final profile: seeded source-sampled social cost and
+	// landmark mean stretch with 95% confidence intervals
+	// (core.EstimateSocialCost / core.EstimateMeanTerm). Zero means no
+	// estimator phase and the est-* measures are rejected.
+	Estimate EstimateSpec `json:"estimate,omitzero"`
 	// Measures are the columns to record, in order (see Measures() for
 	// the known names). Empty selects DefaultMeasures.
 	Measures []string `json:"measures,omitempty"`
@@ -122,7 +128,11 @@ func (m MetricSpec) Build(r *rng.RNG, alpha float64) (metric.Space, error) {
 		}
 		return metric.UniformPoints(r, m.N, dim)
 	case "unit":
-		return metric.Uniform(m.N)
+		// The implicit O(1) uniform space: classification-identical to the
+		// dense metric.Uniform matrix (same kernel dispatch, bit-identical
+		// evaluations) but without the n² distance slab, so "unit" scales
+		// to internet-size n.
+		return metric.UniformImplicit(m.N)
 	case "clustered":
 		k := m.Clusters
 		if k == 0 {
@@ -287,6 +297,23 @@ type ChurnSpec struct {
 // isZero reports whether no churn field is set — no churn phase runs.
 func (c ChurnSpec) isZero() bool { return c == (ChurnSpec{}) }
 
+// EstimateSpec configures the sampled estimators read by the est-*
+// measures. Sampling is seeded by the spec seed, so estimates are as
+// reproducible as everything else in the run.
+type EstimateSpec struct {
+	// Samples is the number of source peers sampled (without
+	// replacement) for the est-social estimate (0 = default 32; clamped
+	// to n, at which point the estimate is exact with CI 0).
+	Samples int `json:"samples,omitempty"`
+	// Landmarks is the number of landmark sources for the est-stretch
+	// mean-term estimate (0 = default 16; clamped to n).
+	Landmarks int `json:"landmarks,omitempty"`
+}
+
+// isZero reports whether no estimate field is set — the est-* measures
+// are then unavailable.
+func (e EstimateSpec) isZero() bool { return e == (EstimateSpec{}) }
+
 // DynamicsSpec describes the best-response dynamics to run.
 type DynamicsSpec struct {
 	// Policy is the activation policy: "round-robin" (default),
@@ -388,7 +415,7 @@ func (s Spec) Validate() error {
 		// declarative field would be silently ignored, so reject them
 		// all (only Name/Description/Seed/Quick compose with Experiment).
 		if !s.Metric.isZero() || s.Game != (GameSpec{}) || !s.Start.isZero() ||
-			s.Dynamics != (DynamicsSpec{}) || !s.Churn.isZero() || len(s.Measures) > 0 {
+			s.Dynamics != (DynamicsSpec{}) || !s.Churn.isZero() || !s.Estimate.isZero() || len(s.Measures) > 0 {
 			return fmt.Errorf("scenario: spec %q sets declarative fields alongside experiment %q; they would be ignored",
 				s.Name, s.Experiment)
 		}
@@ -456,12 +483,18 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	if s.Estimate.Samples < 0 || s.Estimate.Landmarks < 0 {
+		return fmt.Errorf("scenario: spec %q has negative estimate sample counts", s.Name)
+	}
 	for _, m := range s.Measures {
 		if !KnownMeasure(m) {
 			return fmt.Errorf("scenario: spec %q has unknown measure %q (have %v)", s.Name, m, MeasureNames())
 		}
 		if churnMeasure(m) && s.Churn.isZero() {
 			return fmt.Errorf("scenario: spec %q requests measure %q without a churn block", s.Name, m)
+		}
+		if estimateMeasure(m) && s.Estimate.isZero() {
+			return fmt.Errorf("scenario: spec %q requests measure %q without an estimate block", s.Name, m)
 		}
 	}
 	return nil

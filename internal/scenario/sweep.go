@@ -12,12 +12,13 @@ import (
 )
 
 // Sweep is a grid of declarative Specs over the axes α, n, seed, γ,
-// churn rate and repair strategy. Axes left empty stay at the base
-// spec's value, so a sweep degrades gracefully down to a single point.
-// Grid points are independent specs with explicit seeds, so they
-// execute concurrently with tables that are byte-identical at every
-// parallelism width: rows are reduced in grid order (seed-major, then
-// n, α, γ, churn rate, repair — the nesting order of Points).
+// churn rate, repair strategy and estimator sample budget. Axes left
+// empty stay at the base spec's value, so a sweep degrades gracefully
+// down to a single point. Grid points are independent specs with
+// explicit seeds, so they execute concurrently with tables that are
+// byte-identical at every parallelism width: rows are reduced in grid
+// order (seed-major, then n, α, γ, churn rate, repair, samples — the
+// nesting order of Points).
 type Sweep struct {
 	// Name titles the result table.
 	Name string `json:"name,omitempty"`
@@ -41,6 +42,11 @@ type Sweep struct {
 	// survive churn?" across rate × repair strategy × α in one table.
 	ChurnRates []float64 `json:"churn_rates,omitempty"`
 	Repairs    []string  `json:"repairs,omitempty"`
+	// Samples overrides Base.Estimate.Samples per point. It requires an
+	// estimate block in the base spec and grids innermost (after repair),
+	// so one table can show est-social converging on the exact value as
+	// the sample budget grows.
+	Samples []int `json:"samples,omitempty"`
 }
 
 // Validate checks the sweep without running anything.
@@ -92,6 +98,14 @@ func (sw Sweep) Validate() error {
 			return fmt.Errorf("scenario: sweep %q: %w", sw.Name, err)
 		}
 	}
+	if len(sw.Samples) > 0 && sw.Base.Estimate.isZero() {
+		return fmt.Errorf("scenario: sweep %q: samples axis needs an estimate block in the base spec", sw.Name)
+	}
+	for _, k := range sw.Samples {
+		if k < 1 {
+			return fmt.Errorf("scenario: sweep %q: samples axis value %d < 1", sw.Name, k)
+		}
+	}
 	return nil
 }
 
@@ -130,6 +144,10 @@ func (sw Sweep) Points() []Spec {
 	if len(repairs) == 0 {
 		repairs = []string{sw.Base.Churn.Repair}
 	}
+	samples := sw.Samples
+	if len(samples) == 0 {
+		samples = []int{sw.Base.Estimate.Samples}
+	}
 	var points []Spec
 	for _, seed := range seeds {
 		for _, n := range ns {
@@ -137,16 +155,19 @@ func (sw Sweep) Points() []Spec {
 				for _, gamma := range gammas {
 					for _, rate := range rates {
 						for _, repair := range repairs {
-							spec := sw.Base
-							spec.Seed = seed
-							if n.set {
-								spec.Metric.N = n.n
+							for _, k := range samples {
+								spec := sw.Base
+								spec.Seed = seed
+								if n.set {
+									spec.Metric.N = n.n
+								}
+								spec.Game.Alpha = alpha
+								spec.Game.Gamma = gamma
+								spec.Churn.Rate = rate
+								spec.Churn.Repair = repair
+								spec.Estimate.Samples = k
+								points = append(points, spec)
 							}
-							spec.Game.Alpha = alpha
-							spec.Game.Gamma = gamma
-							spec.Churn.Rate = rate
-							spec.Churn.Repair = repair
-							points = append(points, spec)
 						}
 					}
 				}
@@ -335,6 +356,9 @@ func (sw Sweep) Assemble(results []PointResult) (*export.Table, error) {
 	axes := "seeds×n×α×γ"
 	if len(sw.ChurnRates) > 0 || len(sw.Repairs) > 0 {
 		axes += "×churn-rate×repair"
+	}
+	if len(sw.Samples) > 0 {
+		axes += "×samples"
 	}
 	tb.Notes = append(tb.Notes, fmt.Sprintf("grid: %d points (%s), rows in grid order", len(points), axes))
 	if cutOffPoints > 0 {
